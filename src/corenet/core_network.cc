@@ -1,0 +1,663 @@
+#include "corenet/core_network.h"
+
+#include "common/codec.h"
+#include "common/params.h"
+#include "simcore/log.h"
+
+namespace seed::corenet {
+
+using nas::MmCause;
+using nas::SmCause;
+
+namespace {
+constexpr std::uint8_t kSeedBearer = 7;  // logical channel id for SEED crypto
+
+std::uint8_t mm(MmCause c) { return static_cast<std::uint8_t>(c); }
+std::uint8_t sm(SmCause c) { return static_cast<std::uint8_t>(c); }
+}  // namespace
+
+CoreNetwork::CoreNetwork(sim::Simulator& sim, sim::Rng& rng, SubscriberDb& db,
+                         ran::Gnb& gnb, metrics::CpuMeter& cpu)
+    : sim_(sim), rng_(rng), db_(db), gnb_(gnb), cpu_(cpu) {}
+
+void CoreNetwork::attach_device(const std::string& supi,
+                                std::function<void(Bytes)> downlink) {
+  supi_ = supi;
+  downlink_ = std::move(downlink);
+  if (Subscriber* sub = db_.find(supi_)) {
+    seed_ctx_.emplace(sub->seed_key, kSeedBearer);
+  }
+}
+
+Subscriber* CoreNetwork::current_sub() { return db_.find(supi_); }
+
+void CoreNetwork::send(const nas::NasMessage& msg) {
+  ++stats_.nas_tx;
+  cpu_.charge("nas_tx", 0.0002);
+  Bytes wire = nas::encode_message(msg);
+  const auto latency = params::kCoreProcessing + params::kGnbCoreLatency +
+                       gnb_.hop_latency();
+  sim_.schedule_after(latency, [this, wire = std::move(wire)] {
+    if (downlink_ && gnb_.radio_up()) downlink_(wire);
+  });
+}
+
+void CoreNetwork::on_uplink(BytesView wire) {
+  ++stats_.nas_rx;
+  cpu_.charge("nas_rx", 0.0002);
+  const auto msg = nas::decode_message(wire);
+  if (!msg) {
+    SLOG(kWarn, "core") << "undecodable NAS message (" << wire.size()
+                        << " bytes)";
+    return;
+  }
+  std::visit(
+      [this](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, nas::RegistrationRequest>) {
+          handle_registration(m);
+        } else if constexpr (std::is_same_v<T, nas::AuthenticationResponse>) {
+          handle_auth_response(m);
+        } else if constexpr (std::is_same_v<T, nas::AuthenticationFailure>) {
+          handle_auth_failure(m);
+        } else if constexpr (std::is_same_v<T, nas::SecurityModeComplete>) {
+          handle_smc_complete();
+        } else if constexpr (std::is_same_v<T, nas::ServiceRequest>) {
+          handle_service_request(m);
+        } else if constexpr (std::is_same_v<T, nas::DeregistrationRequest>) {
+          registered_ = false;
+          sessions_.clear();
+          gnb_.rrc_release();
+        } else if constexpr (std::is_same_v<
+                                 T, nas::PduSessionEstablishmentRequest>) {
+          handle_pdu_request(m);
+        } else if constexpr (std::is_same_v<T, nas::PduSessionReleaseRequest>) {
+          handle_pdu_release(m);
+        } else if constexpr (std::is_same_v<
+                                 T, nas::PduSessionModificationRequest>) {
+          handle_pdu_modification(m);
+        } else if constexpr (std::is_same_v<T,
+                                            nas::PduSessionReleaseComplete>) {
+          // final ack of a release; nothing to do
+        }
+      },
+      *msg);
+}
+
+// ------------------------------------------------------------- registration
+
+void CoreNetwork::handle_registration(const nas::RegistrationRequest& m) {
+  cpu_.charge("procedure", params::kCoreCostPerProcedure / 4);
+  if (faults_.timeout_registration) return;  // swallowed: device times out
+
+  Subscriber* sub = nullptr;
+  nas::PlmnId selected_plmn{};
+  if (m.identity.kind == nas::MobileIdentity::Kind::kGuti) {
+    selected_plmn = m.identity.guti.plmn;
+    if (faults_.drop_guti_mapping) {
+      // Status desync: the network cannot derive the identity (Table 1 #1).
+      reject_registration(mm(MmCause::kUeIdentityCannotBeDerived));
+      return;
+    }
+    sub = db_.find_by_guti(m.identity.guti);
+    if (sub == nullptr) {
+      reject_registration(mm(MmCause::kUeIdentityCannotBeDerived));
+      return;
+    }
+  } else if (m.identity.kind == nas::MobileIdentity::Kind::kSuci) {
+    selected_plmn = m.identity.suci.plmn;
+    sub = db_.find_by_msin(m.identity.suci.msin);
+  }
+  if (sub == nullptr || sub->supi != supi_) {
+    reject_registration(mm(MmCause::kUeIdentityCannotBeDerived));
+    return;
+  }
+  if (!sub->authorized) {
+    reject_registration(mm(MmCause::kIllegalUe));
+    return;
+  }
+  if (faults_.plmn_rejected && selected_plmn.mnc == 260) {
+    // The device's (outdated) preferred PLMN is no longer allowed; an
+    // updated PLMN list (mnc 310) or a full search recovers.
+    reject_registration(mm(MmCause::kPlmnNotAllowed));
+    return;
+  }
+  if (faults_.transient_reject_count > 0) {
+    --faults_.transient_reject_count;
+    reject_registration(mm(MmCause::kMessageTypeNotCompatibleWithState));
+    return;
+  }
+  if (faults_.congested) {
+    reject_registration(mm(MmCause::kCongestion));
+    return;
+  }
+  if (faults_.custom_cause_cp) {
+    if (m.identity.kind == nas::MobileIdentity::Kind::kSuci) {
+      // A whole-module control-plane reset (fresh identity) cures the
+      // customized failure.
+      faults_.custom_cause_cp.reset();
+    } else {
+      reject_registration(mm(MmCause::kProtocolErrorUnspecified));
+      return;
+    }
+  }
+  registration_pending_ = true;
+  start_authentication(true);
+}
+
+void CoreNetwork::start_authentication(bool /*for_registration*/) {
+  Subscriber* sub = current_sub();
+  if (sub == nullptr) return;
+  ++stats_.auth_vectors;
+  cpu_.charge("auth", 0.0005);
+
+  crypto::Block rand{};
+  for (auto& b : rand) b = static_cast<std::uint8_t>(rng_.next());
+  // Never collide with the reserved DFlag.
+  rand[0] &= 0x7f;
+
+  std::array<std::uint8_t, 6> sqn{};
+  for (int i = 0; i < 6; ++i) {
+    sqn[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(sub->sqn >> (8 * (5 - i)));
+  }
+  sub->sqn += 32;
+  const std::array<std::uint8_t, 2> amf = {0x80, 0x00};
+
+  const crypto::Milenage mil = crypto::Milenage::from_opc(sub->k, sub->opc);
+  const auto out = mil.compute(rand, sqn, amf);
+  expected_res_ = Bytes(out.res.begin(), out.res.end());
+
+  nas::AuthenticationRequest req;
+  req.ngksi = 1;
+  req.rand = rand;
+  req.autn = mil.build_autn(out, sqn, amf);
+  send(nas::NasMessage(req));
+}
+
+void CoreNetwork::handle_auth_response(const nas::AuthenticationResponse& m) {
+  if (!expected_res_ || m.res != *expected_res_) {
+    send(nas::NasMessage(nas::AuthenticationReject{}));
+    registration_pending_ = false;
+    return;
+  }
+  expected_res_.reset();
+  awaiting_smc_ = true;
+  send(nas::NasMessage(nas::SecurityModeCommand{}));
+}
+
+void CoreNetwork::handle_smc_complete() {
+  if (!awaiting_smc_) return;
+  awaiting_smc_ = false;
+  if (registration_pending_) complete_registration();
+}
+
+void CoreNetwork::complete_registration() {
+  Subscriber* sub = current_sub();
+  if (sub == nullptr) return;
+  registration_pending_ = false;
+  registered_ = true;
+  ++reg_gen_;
+  faults_.drop_guti_mapping = false;  // fresh registration resyncs identity
+  sessions_.clear();  // a fresh registration voids old PDU contexts
+
+  nas::RegistrationAccept acc;
+  nas::Guti guti;
+  guti.plmn = {310, 310};
+  guti.amf_region = 1;
+  guti.amf_set = 1;
+  guti.tmsi = static_cast<std::uint32_t>(rng_.next());
+  sub->guti = guti;
+  acc.guti = guti;
+  acc.tai_list = {nas::Tai{guti.plmn, 100}};
+  acc.allowed_nssai = {nas::SNssai{1, std::nullopt}};
+  send(nas::NasMessage(acc));
+}
+
+void CoreNetwork::handle_auth_failure(const nas::AuthenticationFailure& m) {
+  if (m.cause == mm(MmCause::kSynchFailure) && next_frag_ > 0) {
+    // SEED downlink ACK for the previous fragment (Fig. 7a).
+    send_diag_fragments();
+    return;
+  }
+  // Genuine synch failure: restart authentication with a fresh vector.
+  if (registration_pending_) start_authentication(true);
+}
+
+void CoreNetwork::handle_service_request(const nas::ServiceRequest&) {
+  if (!registered_) {
+    nas::ServiceReject rej;
+    rej.cause = mm(MmCause::kUeIdentityCannotBeDerived);
+    send(nas::NasMessage(rej));
+    core::FailureEvent ev;
+    ev.network_initiated = true;
+    ev.plane = nas::Plane::kControl;
+    ev.standardized_cause = rej.cause;
+    assist(ev);
+    return;
+  }
+  send(nas::NasMessage(nas::ServiceAccept{}));
+}
+
+void CoreNetwork::reject_registration(std::uint8_t cause,
+                                      std::optional<std::uint32_t> t3502) {
+  ++stats_.rejects_sent;
+  cpu_.charge("failure", params::kCoreCostPerFailure);
+  nas::RegistrationReject rej;
+  rej.cause = cause;
+  rej.t3502_seconds = t3502;
+  send(nas::NasMessage(rej));
+
+  core::FailureEvent ev;
+  ev.network_initiated = true;
+  ev.plane = nas::Plane::kControl;
+  if (faults_.custom_cause_cp &&
+      cause == mm(MmCause::kProtocolErrorUnspecified)) {
+    ev.standardized_cause = 0;
+    ev.custom_cause = *faults_.custom_cause_cp;
+    ev.custom_action = faults_.custom_action_known;
+  } else {
+    ev.standardized_cause = cause;
+  }
+  ev.congested = faults_.congested;
+  if (const Subscriber* sub = current_sub()) {
+    ev.config = config_for(nas::Plane::kControl, cause, *sub);
+  }
+  assist(ev);
+}
+
+// ---------------------------------------------------------------- sessions
+
+void CoreNetwork::handle_pdu_request(
+    const nas::PduSessionEstablishmentRequest& m) {
+  cpu_.charge("procedure", params::kCoreCostPerProcedure / 4);
+  Subscriber* sub = current_sub();
+  if (sub == nullptr) return;
+
+  // ---- SEED uplink report path (DIAG DNN with payload labels).
+  if (proto::DiagDnnCodec::is_diag(m.dnn) && m.dnn.labels().size() > 1) {
+    if (!seed_enabled_ || !seed_ctx_) {
+      reject_pdu(m.hdr, sm(SmCause::kMissingOrUnknownDnn));
+      return;
+    }
+    const auto frame = report_reassembler_.feed(m.dnn);
+    if (frame) {
+      const auto plain =
+          seed_ctx_->unprotect(*frame, crypto::Direction::kUplink);
+      if (plain) {
+        const auto report = proto::FailureReport::decode(*plain);
+        if (report) {
+          ++stats_.diag_reports_rx;
+          cpu_.charge("diagnosis", params::kCoreCostPerDiagnosis);
+          handle_diag_report(*report, m.hdr);
+          return;
+        }
+      }
+    }
+    // Mid-fragment or bad frame: ACK with a reject either way (Fig. 7b).
+    reject_pdu(m.hdr, sm(SmCause::kRequestRejectedUnspecified));
+    return;
+  }
+
+  const std::string dnn = m.dnn.to_string();
+
+  // ---- plain DIAG session for the Fig. 6 fast reset: always accepted,
+  // keeps the radio bearer alive while DATA is cycled.
+  const bool is_diag_session = dnn == "DIAG";
+
+  if (!is_diag_session) {
+    if (!registered_) {
+      reject_pdu(m.hdr, sm(SmCause::kMessageNotCompatibleWithState));
+      return;
+    }
+    if (!sub->plan_active) {
+      // Expired data plan: recovery needs user action (§3.1).
+      reject_pdu(m.hdr, sm(SmCause::kUserAuthenticationFailed));
+      return;
+    }
+    if (faults_.custom_cause_dp && m.hdr.pdu_session_id == 1) {
+      // Cured only by a whole-module data-plane reset: the DATA session
+      // re-establishes while a companion session (DIAG or swap) holds the
+      // context (Fig. 6 / make-before-break). Plain retries on the same
+      // broken context do not qualify.
+      bool companion_up = false;
+      for (const auto& [psi, sess] : sessions_) {
+        if (psi != m.hdr.pdu_session_id) companion_up = true;
+      }
+      const bool fresh_registration =
+          reg_gen_ > faults_.custom_dp_armed_reg_gen;
+      if (companion_up || fresh_registration) {
+        faults_.custom_cause_dp.reset();
+      } else {
+        reject_pdu(m.hdr, sm(SmCause::kProtocolErrorUnspecified));
+        return;
+      }
+    }
+    if (!db_.dnn_known(dnn)) {
+      reject_pdu(m.hdr, sm(SmCause::kMissingOrUnknownDnn));
+      return;
+    }
+    const auto& allowed = sub->subscribed_dnns;
+    if (std::find(allowed.begin(), allowed.end(), dnn) == allowed.end()) {
+      reject_pdu(m.hdr, sm(SmCause::kServiceOptionNotSubscribed));
+      return;
+    }
+    if (m.snssai) {
+      // Slice-aware validation (paper §9 extension): an unavailable
+      // requested slice rejects with #70; the SEED assistance carries
+      // the currently-served slice where the cause is slice-scoped.
+      const auto& slices = sub->subscribed_slices;
+      if (std::find(slices.begin(), slices.end(), *m.snssai) ==
+          slices.end()) {
+        reject_pdu(m.hdr, sm(SmCause::kMissingOrUnknownDnnInSlice));
+        return;
+      }
+    }
+    if (!sub->allowed_types.contains(m.type)) {
+      reject_pdu(m.hdr, m.type == nas::PduSessionType::kIpv6
+                            ? sm(SmCause::kPduTypeIpv4OnlyAllowed)
+                            : sm(SmCause::kUnknownPduSessionType));
+      return;
+    }
+    if (faults_.congested) {
+      // Congestion rejects carry a short back-off timer (TS 24.501
+      // T3396-style), so even legacy devices re-try promptly.
+      reject_pdu(m.hdr, sm(SmCause::kInsufficientResources),
+                 static_cast<std::uint32_t>(rng_.uniform_int(2, 6)));
+      return;
+    }
+    if (sessions_.size() >= sub->max_sessions) {
+      reject_pdu(m.hdr, sm(SmCause::kInsufficientResources));
+      return;
+    }
+  }
+
+  // Accept.
+  PduSession s;
+  s.psi = m.hdr.pdu_session_id;
+  s.dnn = dnn;
+  s.type = m.type;
+  s.ue_addr = nas::Ipv4{{10, 45, 0, next_ip_suffix_++}};
+  s.dns_addr = carrier_dns();
+  s.is_diag = is_diag_session;
+  const auto prev = sessions_.find(s.psi);
+  s.generation = prev == sessions_.end() ? 1 : prev->second.generation + 1;
+  // A freshly established DATA session carries fresh gateway state.
+  if (!s.is_diag) faults_.stale_session = false;
+  sessions_[s.psi] = s;
+  gnb_.add_bearer(s.psi);
+
+  nas::PduSessionEstablishmentAccept acc;
+  acc.hdr = m.hdr;
+  acc.type = s.type;
+  acc.ue_addr = s.ue_addr;
+  acc.dns_addr = s.dns_addr;
+  acc.qos = nas::QosRule{9, 100000, 500000};
+  send(nas::NasMessage(acc));
+}
+
+void CoreNetwork::reject_pdu(const nas::SmHeader& hdr, std::uint8_t cause,
+                             std::optional<std::uint32_t> backoff) {
+  ++stats_.rejects_sent;
+  cpu_.charge("failure", params::kCoreCostPerFailure);
+  nas::PduSessionEstablishmentReject rej;
+  rej.hdr = hdr;
+  rej.cause = cause;
+  rej.backoff_seconds = backoff;
+  send(nas::NasMessage(rej));
+
+  core::FailureEvent ev;
+  ev.network_initiated = true;
+  ev.plane = nas::Plane::kData;
+  if (faults_.custom_cause_dp &&
+      cause == sm(SmCause::kProtocolErrorUnspecified)) {
+    ev.standardized_cause = 0;
+    ev.custom_cause = *faults_.custom_cause_dp;
+    ev.custom_action = faults_.custom_action_known;
+  } else {
+    ev.standardized_cause = cause;
+  }
+  ev.congested = faults_.congested;
+  if (const Subscriber* sub = current_sub()) {
+    ev.config = config_for(nas::Plane::kData, cause, *sub);
+  }
+  assist(ev);
+}
+
+void CoreNetwork::handle_pdu_release(const nas::PduSessionReleaseRequest& m) {
+  const auto it = sessions_.find(m.hdr.pdu_session_id);
+  if (it == sessions_.end()) {
+    nas::PduSessionModificationReject rej;
+    rej.hdr = m.hdr;
+    rej.cause = sm(SmCause::kPduSessionDoesNotExist);
+    send(nas::NasMessage(rej));
+    return;
+  }
+  sessions_.erase(it);
+  nas::PduSessionReleaseCommand cmd;
+  cmd.hdr = m.hdr;
+  send(nas::NasMessage(cmd));
+  const bool was_last = gnb_.release_bearer(m.hdr.pdu_session_id);
+  if (was_last) {
+    // Last-bearer rule: UE context goes with the RRC connection.
+    registered_ = false;
+  }
+}
+
+void CoreNetwork::handle_pdu_modification(
+    const nas::PduSessionModificationRequest& m) {
+  const auto it = sessions_.find(m.hdr.pdu_session_id);
+  if (it == sessions_.end()) {
+    nas::PduSessionModificationReject rej;
+    rej.hdr = m.hdr;
+    rej.cause = sm(SmCause::kPduSessionDoesNotExist);
+    send(nas::NasMessage(rej));
+    return;
+  }
+  nas::PduSessionModificationCommand cmd;
+  cmd.hdr = m.hdr;
+  cmd.tft = m.tft;
+  cmd.qos = m.qos;
+  send(nas::NasMessage(cmd));
+}
+
+void CoreNetwork::make_sessions_stale() {
+  faults_.stale_session = true;
+  for (auto& [_, s] : sessions_) {
+    if (!s.is_diag) s.stale = true;
+  }
+}
+
+bool CoreNetwork::session_active(std::uint8_t psi) const {
+  const auto it = sessions_.find(psi);
+  return it != sessions_.end() && !it->second.stale;
+}
+
+const PduSession* CoreNetwork::session(std::uint8_t psi) const {
+  const auto it = sessions_.find(psi);
+  return it == sessions_.end() ? nullptr : &it->second;
+}
+
+bool CoreNetwork::upf_allows(nas::IpProtocol proto,
+                             std::uint16_t port) const {
+  if (effective_policy_.blocked_ports.contains(port)) return false;
+  if (proto == nas::IpProtocol::kTcp && effective_policy_.tcp_blocked) {
+    return false;
+  }
+  if (proto == nas::IpProtocol::kUdp && effective_policy_.udp_blocked) {
+    return false;
+  }
+  return true;
+}
+
+bool CoreNetwork::dns_resolves(const nas::Ipv4& server) const {
+  if (effective_policy_.dns_blocked) return false;
+  if (server == backup_dns()) return true;
+  if (server == carrier_dns()) return dns_up_;
+  return false;
+}
+
+// ------------------------------------------------------------ SEED plugin
+
+std::optional<proto::ConfigPayload> CoreNetwork::config_for(
+    nas::Plane plane, std::uint8_t cause, const Subscriber& sub) const {
+  auto kind = nas::config_kind_for(plane, cause);
+  if (kind == nas::ConfigKind::kNone) return std::nullopt;
+  // Slice-scoped refinement of Appendix A: when #70 fired although the
+  // DNN itself is subscribed, the outdated item is the S-NSSAI — ship
+  // the currently-served slice instead of a DNN.
+  if (plane == nas::Plane::kData &&
+      cause == static_cast<std::uint8_t>(
+                   nas::SmCause::kMissingOrUnknownDnnInSlice) &&
+      !sub.subscribed_dnns.empty()) {
+    kind = nas::ConfigKind::kSuggestedSnssai;
+  }
+  Writer w;
+  switch (kind) {
+    case nas::ConfigKind::kSuggestedDnn: {
+      if (sub.subscribed_dnns.empty()) return std::nullopt;
+      nas::Dnn(sub.subscribed_dnns.front()).encode(w);
+      break;
+    }
+    case nas::ConfigKind::kSuggestedSessionType:
+      w.u8(static_cast<std::uint8_t>(*sub.allowed_types.begin()));
+      break;
+    case nas::ConfigKind::kSupportedRat:
+      // Updated PLMN/RAT priority list: the allowed PLMN.
+      nas::PlmnId{310, 310}.encode(w);
+      break;
+    case nas::ConfigKind::kSuggestedSnssai:
+      if (sub.subscribed_slices.empty()) return std::nullopt;
+      sub.subscribed_slices.front().encode(w);
+      break;
+    case nas::ConfigKind::kSuggested5qi:
+      w.u8(9);
+      break;
+    default:
+      // TFT/packet-filter/PDU-session suggestions: ship a fresh default.
+      w.u8(0);
+      break;
+  }
+  return proto::ConfigPayload{kind, w.bytes()};
+}
+
+void CoreNetwork::assist(const core::FailureEvent& event) {
+  if (!seed_enabled_ || !seed_ctx_) return;
+  cpu_.charge("diagnosis", params::kCoreCostPerDiagnosis);
+  const auto advice = core::classify_failure(event, learner_, rng_);
+  if (!advice.diag) return;
+
+  ++stats_.diag_downlinks;
+  const Bytes frame =
+      seed_ctx_->protect(advice.diag->encode(), crypto::Direction::kDownlink);
+  pending_frags_ = proto::AutnCodec::fragment(frame);
+  SLOG(kInfo, "core") << "assistance -> SIM (cause #"
+                      << int(advice.diag->cause) << ", "
+                      << pending_frags_.size() << " AUTN fragment(s))";
+  next_frag_ = 0;
+  diag_prep_start_ = sim_.now();
+  // Downlink prep latency (metric collection + encode + crypto), Fig. 12.
+  const auto prep = sim::secs_f(rng_.lognormal_median(
+      sim::to_seconds(params::kDownlinkPrepMedian), params::kPrepSigma));
+  sim_.schedule_after(prep, [this] {
+    diag_prep_ms_.push_back(sim::to_ms(sim_.now() - diag_prep_start_));
+    diag_send_start_ = sim_.now();
+    send_diag_fragments();
+  });
+}
+
+void CoreNetwork::send_diag_fragments() {
+  if (next_frag_ >= pending_frags_.size()) {
+    if (!pending_frags_.empty()) {
+      // Final fragment just got ACKed: transfer complete (Fig. 12 trans).
+      diag_trans_ms_.push_back(sim::to_ms(sim_.now() - diag_send_start_));
+    }
+    pending_frags_.clear();
+    next_frag_ = 0;
+    return;
+  }
+  nas::AuthenticationRequest req;
+  req.ngksi = 0;
+  req.rand = proto::kDFlag;
+  req.autn = pending_frags_[next_frag_++];
+  send(nas::NasMessage(req));
+  if (next_frag_ >= pending_frags_.size()) {
+    // Last fragment: once ACKed the transfer is complete; clear on the
+    // next synch-failure ACK via handle_auth_failure -> send_diag_fragments.
+  }
+}
+
+void CoreNetwork::handle_diag_report(const proto::FailureReport& report,
+                                     const nas::SmHeader& hdr) {
+  Subscriber* sub = current_sub();
+  // ACK the report with a reject (Fig. 7b).
+  nas::PduSessionEstablishmentReject ack;
+  ack.hdr = hdr;
+  ack.cause = sm(SmCause::kRequestRejectedUnspecified);
+  send(nas::NasMessage(ack));
+  if (sub == nullptr) return;
+
+  // Validate the report against the *intended* user policy (§4.4.2): when
+  // the effective policy wrongly blocks the traffic, repair it and push a
+  // modification; for DNS failures configure the backup server.
+  bool fixed_policy = false;
+  switch (report.type) {
+    case proto::FailureType::kTcp:
+      if (effective_policy_.tcp_blocked && !sub->policy.tcp_blocked) {
+        effective_policy_.tcp_blocked = false;
+        fixed_policy = true;
+      }
+      break;
+    case proto::FailureType::kUdp:
+      if (effective_policy_.udp_blocked && !sub->policy.udp_blocked) {
+        effective_policy_.udp_blocked = false;
+        fixed_policy = true;
+      }
+      break;
+    case proto::FailureType::kDns:
+    case proto::FailureType::kNoConnection:
+      break;
+  }
+  if (report.port && effective_policy_.blocked_ports.contains(*report.port) &&
+      !sub->policy.blocked_ports.contains(*report.port)) {
+    effective_policy_.blocked_ports.erase(*report.port);
+    fixed_policy = true;
+  }
+
+  const bool dns_failure = report.type == proto::FailureType::kDns;
+  const bool stale = faults_.stale_session;
+
+  if (dns_failure && !dns_up_) {
+    // Configure a backup DNS in the follow-up modification (B3, §4.4.2).
+    for (auto& [psi, s] : sessions_) {
+      if (!s.is_diag) s.dns_addr = backup_dns();
+    }
+    nas::PduSessionModificationCommand cmd;
+    cmd.hdr = {1, 0};
+    cmd.dns_addr = backup_dns();
+    send(nas::NasMessage(cmd));
+    ++stats_.fast_dplane_resets;
+    return;
+  }
+
+  if (fixed_policy && !stale) {
+    // Config-only fix: modify the existing DATA bearer instead of a reset.
+    nas::PduSessionModificationCommand cmd;
+    cmd.hdr = {1, 0};
+    send(nas::NasMessage(cmd));
+    ++stats_.fast_dplane_resets;
+    return;
+  }
+
+  // Stale session (outdated gateway state): the SIM side orchestrates the
+  // Fig. 6 fast reset next; the freshly established DATA session clears
+  // the stale state in handle_pdu_request.
+  ++stats_.fast_dplane_resets;
+}
+
+void CoreNetwork::upload_sim_records(
+    const std::vector<core::SimRecordStore::Entry>& e) {
+  if (learner_ != nullptr) learner_->absorb(e);
+}
+
+}  // namespace seed::corenet

@@ -1,0 +1,220 @@
+// Simulated 5G core (AMF + AUSF + SMF + UPF) with the SEED diagnosis
+// plugin (paper §6: "We extend the Magma 5G NSA core with a plugin").
+//
+// The core speaks real NAS wire bytes (nas/messages.h) to one device per
+// link, runs real 5G-AKA (crypto/milenage.h), validates session requests
+// against the subscriber database (producing the standardized SM causes),
+// and — when SEED is enabled — classifies every failure with the Fig. 8
+// tree and ships assistance info over the DFlag Authentication Request
+// channel. The DIAG-DNN uplink report path and the Fig. 6 fast data-plane
+// reset are handled in the SMF hook.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "crypto/milenage.h"
+#include "crypto/security_context.h"
+#include "corenet/subscriber.h"
+#include "metrics/meters.h"
+#include "nas/messages.h"
+#include "ran/gnb.h"
+#include "seed/infra_assist.h"
+#include "seed/online_learning.h"
+#include "seedproto/diag_payload.h"
+#include "seedproto/failure_report.h"
+#include "simcore/rng.h"
+#include "simcore/simulator.h"
+
+namespace seed::corenet {
+
+/// Injectable failure conditions (per subscriber). Config-related faults
+/// (outdated DNN etc.) are *not* listed here — they arise naturally when
+/// the device's configuration disagrees with the SubscriberDb truth.
+struct Faults {
+  /// Core lost the SUPI<->GUTI mapping: GUTI registrations fail with #9.
+  bool drop_guti_mapping = false;
+  /// The device's serving PLMN became disallowed: #11 until the device
+  /// registers via an allowed PLMN (config update or full search).
+  bool plmn_rejected = false;
+  /// Reject the next N registration attempts with #98 (state mismatch,
+  /// transient desync that heals by itself).
+  int transient_reject_count = 0;
+  /// Cell/core congestion: #22 (c-plane) / #26 (d-plane) while set.
+  bool congested = false;
+  /// Swallow registration requests (device-side timeout path).
+  bool timeout_registration = false;
+  /// Unstandardized failure: reject with #111 on the wire, customized
+  /// cause code via SEED assistance. Applies to the given plane.
+  /// CP variant is cured by a fresh-identity (SUCI) registration — i.e.
+  /// by whole-module control-plane resets (A1/B1/B2 or legacy attempt
+  /// exhaustion). DP variant is cured when the DATA session comes up
+  /// while another session exists (make-before-break A3 or the Fig. 6
+  /// DIAG dance of B3) — i.e. by whole-module data-plane resets.
+  std::optional<core::CustomCause> custom_cause_cp;
+  std::optional<core::CustomCause> custom_cause_dp;
+  /// Registration generation at DP-fault arming time: a *fresh*
+  /// registration (A1/B1/B2 whole-module resets) also cures the DP
+  /// custom fault, since it rebuilds all session contexts.
+  std::uint64_t custom_dp_armed_reg_gen = 0;
+  /// When the operator maps the custom failure to a known handling, the
+  /// assistance carries this suggested action (§5.2); otherwise online
+  /// learning takes over (§5.3).
+  std::optional<proto::ResetAction> custom_action_known;
+  /// Established sessions went stale (outdated gateway state): all flows
+  /// fail until the session is re-established.
+  bool stale_session = false;
+};
+
+struct PduSession {
+  std::uint8_t psi = 0;
+  std::string dnn;
+  nas::PduSessionType type = nas::PduSessionType::kIpv4;
+  nas::Ipv4 ue_addr;
+  nas::Ipv4 dns_addr;
+  std::uint64_t generation = 0;  // bumps on re-establishment
+  bool stale = false;
+  bool is_diag = false;
+};
+
+/// Counters for the overhead experiments (Fig. 11a).
+struct CoreStats {
+  std::uint64_t nas_rx = 0;
+  std::uint64_t nas_tx = 0;
+  std::uint64_t rejects_sent = 0;
+  std::uint64_t diag_downlinks = 0;     // SEED assistance transmissions
+  std::uint64_t diag_reports_rx = 0;    // SEED uplink reports parsed
+  std::uint64_t auth_vectors = 0;
+  std::uint64_t fast_dplane_resets = 0;
+};
+
+class CoreNetwork {
+ public:
+  CoreNetwork(sim::Simulator& sim, sim::Rng& rng, SubscriberDb& db,
+              ran::Gnb& gnb, metrics::CpuMeter& cpu);
+
+  /// Enables the SEED plugin (diagnosis assistance + report handling).
+  void enable_seed(bool on) { seed_enabled_ = on; }
+  /// Online learner shared across the operator's network (§5.3).
+  void set_learner(core::NetRecord* learner) { learner_ = learner; }
+
+  // ----- wiring (one device per core instance in this testbed)
+  void attach_device(const std::string& supi,
+                     std::function<void(Bytes)> downlink);
+  void on_uplink(BytesView wire);
+
+  // ----- fault injection
+  Faults& faults() { return faults_; }
+  /// Breaks the carrier LDNS (delivery failure class DNS).
+  void set_dns_up(bool up) { dns_up_ = up; }
+  bool dns_up() const { return dns_up_; }
+  /// Installs an erroneous traffic policy (delivery failure class
+  /// TCP/UDP blocking); the intended policy stays in the SubscriberDb.
+  void set_effective_policy(const TrafficPolicy& p) { effective_policy_ = p; }
+  const TrafficPolicy& effective_policy() const { return effective_policy_; }
+  /// Marks established sessions stale (outdated gateway state).
+  void make_sessions_stale();
+  /// SMF loses the device's session contexts (Table 1 #50-style state
+  /// desync); the device must re-request its sessions.
+  void drop_sessions() { sessions_.clear(); }
+  /// Bumps on every completed registration.
+  std::uint64_t registration_generation() const { return reg_gen_; }
+
+  // ----- UPF queries (used by the transport engine)
+  bool session_active(std::uint8_t psi) const;
+  const PduSession* session(std::uint8_t psi) const;
+  bool upf_allows(nas::IpProtocol proto, std::uint16_t port) const;
+  /// DNS resolution works iff the queried server is the live carrier LDNS
+  /// or the public backup server SEED may configure.
+  bool dns_resolves(const nas::Ipv4& server) const;
+
+  // ----- SIM record upload (online learning OTA path, Algorithm 1 l.6)
+  void upload_sim_records(const std::vector<core::SimRecordStore::Entry>& e);
+
+  // ----- stats
+  const CoreStats& stats() const { return stats_; }
+  /// Fig. 12 downlink instrumentation: per-transfer preparation and
+  /// transmission latencies in milliseconds.
+  const std::vector<double>& diag_prep_ms() const { return diag_prep_ms_; }
+  const std::vector<double>& diag_trans_ms() const { return diag_trans_ms_; }
+  bool device_registered() const { return registered_; }
+
+  /// Carrier LDNS / backup DNS addresses.
+  static nas::Ipv4 carrier_dns() { return nas::Ipv4{{10, 45, 0, 1}}; }
+  static nas::Ipv4 backup_dns() { return nas::Ipv4{{9, 9, 9, 9}}; }
+
+ private:
+  // message handlers
+  void handle_registration(const nas::RegistrationRequest& m);
+  void handle_auth_response(const nas::AuthenticationResponse& m);
+  void handle_auth_failure(const nas::AuthenticationFailure& m);
+  void handle_smc_complete();
+  void handle_service_request(const nas::ServiceRequest& m);
+  void handle_pdu_request(const nas::PduSessionEstablishmentRequest& m);
+  void handle_pdu_release(const nas::PduSessionReleaseRequest& m);
+  void handle_pdu_modification(const nas::PduSessionModificationRequest& m);
+
+  // SEED plugin
+  void assist(const core::FailureEvent& event);
+  void send_diag_fragments();
+  void handle_diag_report(const proto::FailureReport& report,
+                          const nas::SmHeader& hdr);
+
+  // helpers
+  void send(const nas::NasMessage& msg);
+  void reject_registration(std::uint8_t cause,
+                           std::optional<std::uint32_t> t3502 = {});
+  void reject_pdu(const nas::SmHeader& hdr, std::uint8_t cause,
+                  std::optional<std::uint32_t> backoff = {});
+  Subscriber* current_sub();
+  std::optional<proto::ConfigPayload> config_for(
+      nas::Plane plane, std::uint8_t cause, const Subscriber& sub) const;
+  void start_authentication(bool for_registration);
+  void complete_registration();
+
+  sim::Simulator& sim_;
+  sim::Rng& rng_;
+  SubscriberDb& db_;
+  ran::Gnb& gnb_;
+  metrics::CpuMeter& cpu_;
+  core::NetRecord* learner_ = nullptr;
+  bool seed_enabled_ = false;
+
+  std::string supi_;
+  std::function<void(Bytes)> downlink_;
+
+  // AMF per-UE state
+  bool registered_ = false;
+  std::uint64_t reg_gen_ = 0;
+  bool awaiting_smc_ = false;
+  bool registration_pending_ = false;
+  std::optional<Bytes> expected_res_;
+
+  // SMF sessions
+  std::map<std::uint8_t, PduSession> sessions_;
+  std::uint8_t next_ip_suffix_ = 2;
+
+  // SEED plugin state
+  std::optional<crypto::SecurityContext> seed_ctx_;
+  std::vector<std::array<std::uint8_t, 16>> pending_frags_;
+  std::size_t next_frag_ = 0;
+  sim::TimePoint diag_prep_start_{};
+  sim::TimePoint diag_send_start_{};
+  proto::DiagDnnCodec::Reassembler report_reassembler_;
+
+  // UPF / faults
+  Faults faults_;
+  TrafficPolicy effective_policy_;
+  bool dns_up_ = true;
+
+  CoreStats stats_;
+  std::vector<double> diag_prep_ms_;
+  std::vector<double> diag_trans_ms_;
+};
+
+}  // namespace seed::corenet

@@ -1,0 +1,42 @@
+#include "corenet/subscriber.h"
+
+namespace seed::corenet {
+
+Subscriber& SubscriberDb::add(Subscriber s) {
+  for (const auto& d : s.subscribed_dnns) known_dnns_.insert(d);
+  auto [it, _] = subs_.insert_or_assign(s.supi, std::move(s));
+  return it->second;
+}
+
+Subscriber* SubscriberDb::find(const std::string& supi) {
+  const auto it = subs_.find(supi);
+  return it == subs_.end() ? nullptr : &it->second;
+}
+
+const Subscriber* SubscriberDb::find(const std::string& supi) const {
+  const auto it = subs_.find(supi);
+  return it == subs_.end() ? nullptr : &it->second;
+}
+
+Subscriber* SubscriberDb::find_by_guti(const nas::Guti& guti) {
+  for (auto& [_, s] : subs_) {
+    if (s.guti && *s.guti == guti) return &s;
+  }
+  return nullptr;
+}
+
+Subscriber* SubscriberDb::find_by_msin(const std::string& msin) {
+  for (auto& [supi, s] : subs_) {
+    if (supi.size() >= msin.size() &&
+        supi.compare(supi.size() - msin.size(), msin.size(), msin) == 0) {
+      return &s;
+    }
+  }
+  return nullptr;
+}
+
+bool SubscriberDb::dnn_known(const std::string& dnn) const {
+  return known_dnns_.contains(dnn);
+}
+
+}  // namespace seed::corenet

@@ -1,0 +1,82 @@
+// Subscriber database (UDM role): identities, keys, subscription data,
+// and per-subscriber traffic policies enforced at the UPF.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "crypto/aes.h"
+#include "nas/ie.h"
+
+namespace seed::corenet {
+
+/// Traffic policy enforced by the UPF. SEED's report path checks reports
+/// against this (paper §4.4.2: "checks if the failure type, direction, and
+/// address conflict with user policies").
+struct TrafficPolicy {
+  bool tcp_blocked = false;
+  bool udp_blocked = false;
+  bool dns_blocked = false;
+  std::set<std::uint16_t> blocked_ports;
+};
+
+struct Subscriber {
+  std::string supi;
+  crypto::Key128 k{};
+  crypto::Key128 opc{};
+  /// In-SIM key shared with the SEED applet for the covert channels.
+  crypto::Key128 seed_key{};
+
+  bool authorized = true;    // false -> Illegal UE (#3), user action
+  bool plan_active = true;   // false -> expired plan, user action
+
+  /// DNNs this subscriber may use; the front entry is what the network
+  /// currently expects (the device's copy may be outdated).
+  std::vector<std::string> subscribed_dnns = {"internet"};
+  std::set<nas::PduSessionType> allowed_types = {nas::PduSessionType::kIpv4,
+                                                 nas::PduSessionType::kIpv4v6};
+  /// Slices this subscriber may use; front = the slice the network
+  /// currently serves (cause #62 ships it as the suggested S-NSSAI).
+  std::vector<nas::SNssai> subscribed_slices = {nas::SNssai{1, std::nullopt}};
+  std::uint8_t max_sessions = 4;
+
+  TrafficPolicy policy;
+
+  // ---- dynamic state owned by the core
+  std::optional<nas::Guti> guti;           // current temporary identity
+  std::uint64_t sqn = 0x100;               // auth sequence number
+};
+
+class SubscriberDb {
+ public:
+  Subscriber& add(Subscriber s);
+  Subscriber* find(const std::string& supi);
+  const Subscriber* find(const std::string& supi) const;
+  /// Reverse lookup by GUTI (nullptr when the mapping was lost — the
+  /// "UE identity cannot be derived" desync of paper Table 1).
+  Subscriber* find_by_guti(const nas::Guti& guti);
+
+  /// Lookup by the MSIN digits of a SUCI. The SUCI's PLMN field carries
+  /// the *selected* network in this simulation, so identity resolution
+  /// keys on the subscriber number alone.
+  Subscriber* find_by_msin(const std::string& msin);
+
+  /// True when any subscriber may use this DNN (unknown vs unsubscribed
+  /// distinguishes SM cause #27 from #33).
+  bool dnn_known(const std::string& dnn) const;
+  void register_known_dnn(const std::string& dnn) { known_dnns_.insert(dnn); }
+  /// Operator deprovisions a DNN network-wide (scenario hook).
+  void forget_dnn(const std::string& dnn) { known_dnns_.erase(dnn); }
+
+  std::size_t size() const { return subs_.size(); }
+
+ private:
+  std::map<std::string, Subscriber> subs_;
+  std::set<std::string> known_dnns_ = {"internet", "ims", "DIAG"};
+};
+
+}  // namespace seed::corenet

@@ -1,0 +1,82 @@
+#include "crypto/cmac.h"
+
+namespace seed::crypto {
+
+namespace {
+
+// Left-shift a 128-bit block by one bit; returns the shifted-out MSB.
+Block shift_left(const Block& in, bool& carry_out) {
+  Block out{};
+  std::uint8_t carry = 0;
+  for (int i = 15; i >= 0; --i) {
+    const auto idx = static_cast<std::size_t>(i);
+    out[idx] = static_cast<std::uint8_t>((in[idx] << 1) | carry);
+    carry = static_cast<std::uint8_t>(in[idx] >> 7);
+  }
+  carry_out = carry != 0;
+  return out;
+}
+
+Block generate_subkey(const Block& l) {
+  bool carry = false;
+  Block k = shift_left(l, carry);
+  if (carry) k[15] ^= 0x87;  // Rb for 128-bit blocks
+  return k;
+}
+
+}  // namespace
+
+Block aes_cmac(const Key128& key, BytesView message) {
+  const Aes128 aes(key);
+  Block zero{};
+  const Block l = aes.encrypt(zero);
+  const Block k1 = generate_subkey(l);
+  const Block k2 = generate_subkey(k1);
+
+  const std::size_t n = message.size();
+  const std::size_t full_blocks = n == 0 ? 0 : (n - 1) / 16;  // all but last
+  Block x{};  // running CBC state
+
+  for (std::size_t b = 0; b < full_blocks; ++b) {
+    for (std::size_t i = 0; i < 16; ++i) x[i] ^= message[b * 16 + i];
+    aes.encrypt_block(x);
+  }
+
+  // Last block: complete -> XOR K1; partial/empty -> pad 10* and XOR K2.
+  Block last{};
+  const std::size_t tail_off = full_blocks * 16;
+  const std::size_t tail_len = n - tail_off;
+  if (n > 0 && tail_len == 16) {
+    for (std::size_t i = 0; i < 16; ++i) last[i] = message[tail_off + i] ^ k1[i];
+  } else {
+    for (std::size_t i = 0; i < tail_len; ++i) last[i] = message[tail_off + i];
+    last[tail_len] = 0x80;
+    for (std::size_t i = 0; i < 16; ++i) last[i] ^= k2[i];
+  }
+  for (std::size_t i = 0; i < 16; ++i) x[i] ^= last[i];
+  aes.encrypt_block(x);
+  return x;
+}
+
+std::uint32_t eia2_mac(const Key128& key, std::uint32_t count,
+                       std::uint8_t bearer, std::uint8_t direction,
+                       BytesView message) {
+  Bytes m;
+  m.reserve(8 + message.size());
+  m.push_back(static_cast<std::uint8_t>(count >> 24));
+  m.push_back(static_cast<std::uint8_t>(count >> 16));
+  m.push_back(static_cast<std::uint8_t>(count >> 8));
+  m.push_back(static_cast<std::uint8_t>(count));
+  m.push_back(static_cast<std::uint8_t>(((bearer & 0x1f) << 3) |
+                                        ((direction & 0x01) << 2)));
+  m.push_back(0);
+  m.push_back(0);
+  m.push_back(0);
+  m.insert(m.end(), message.begin(), message.end());
+  const Block tag = aes_cmac(key, m);
+  return (static_cast<std::uint32_t>(tag[0]) << 24) |
+         (static_cast<std::uint32_t>(tag[1]) << 16) |
+         (static_cast<std::uint32_t>(tag[2]) << 8) | tag[3];
+}
+
+}  // namespace seed::crypto

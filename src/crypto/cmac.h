@@ -1,0 +1,22 @@
+// AES-CMAC (NIST SP 800-38B / RFC 4493) and the 3GPP 128-EIA2 integrity
+// algorithm built on it (TS 33.401 Annex B.2.3).
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "crypto/aes.h"
+
+namespace seed::crypto {
+
+/// Full 128-bit AES-CMAC tag over `message`.
+Block aes_cmac(const Key128& key, BytesView message);
+
+/// 3GPP 128-EIA2: 32-bit MAC over COUNT(32) || BEARER(5)|padding || DIRECTION
+/// prepended as an 8-byte header, per TS 33.401. `direction` is 0 (uplink)
+/// or 1 (downlink); `bearer` is 5 bits.
+std::uint32_t eia2_mac(const Key128& key, std::uint32_t count,
+                       std::uint8_t bearer, std::uint8_t direction,
+                       BytesView message);
+
+}  // namespace seed::crypto

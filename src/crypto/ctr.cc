@@ -1,0 +1,42 @@
+#include "crypto/ctr.h"
+
+#include <algorithm>
+
+namespace seed::crypto {
+
+namespace {
+void increment_be(Block& counter) {
+  for (int i = 15; i >= 0; --i) {
+    if (++counter[static_cast<std::size_t>(i)] != 0) break;
+  }
+}
+}  // namespace
+
+Bytes aes_ctr(const Key128& key, const Block& initial_counter, BytesView data) {
+  const Aes128 aes(key);
+  Block counter = initial_counter;
+  Bytes out(data.size());
+  std::size_t pos = 0;
+  while (pos < data.size()) {
+    const Block keystream = aes.encrypt(counter);
+    const std::size_t n = std::min<std::size_t>(16, data.size() - pos);
+    for (std::size_t i = 0; i < n; ++i) out[pos + i] = data[pos + i] ^ keystream[i];
+    pos += n;
+    increment_be(counter);
+  }
+  return out;
+}
+
+Bytes eea2_crypt(const Key128& key, std::uint32_t count, std::uint8_t bearer,
+                 std::uint8_t direction, BytesView data) {
+  Block iv{};
+  iv[0] = static_cast<std::uint8_t>(count >> 24);
+  iv[1] = static_cast<std::uint8_t>(count >> 16);
+  iv[2] = static_cast<std::uint8_t>(count >> 8);
+  iv[3] = static_cast<std::uint8_t>(count);
+  iv[4] = static_cast<std::uint8_t>(((bearer & 0x1f) << 3) |
+                                    ((direction & 0x01) << 2));
+  return aes_ctr(key, iv, data);
+}
+
+}  // namespace seed::crypto

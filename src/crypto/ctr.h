@@ -1,0 +1,22 @@
+// AES-CTR keystream cipher and the 3GPP 128-EEA2 confidentiality algorithm
+// (TS 33.401 Annex B.1.3).
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "crypto/aes.h"
+
+namespace seed::crypto {
+
+/// Generic AES-128-CTR: XORs `data` with the keystream generated from
+/// `initial_counter` (big-endian increment of the full 128-bit block).
+Bytes aes_ctr(const Key128& key, const Block& initial_counter, BytesView data);
+
+/// 3GPP 128-EEA2: the initial counter block is
+/// COUNT(32) || BEARER(5)||DIRECTION(1)||26 zero bits || 64 zero bits.
+/// Encryption and decryption are the same operation.
+Bytes eea2_crypt(const Key128& key, std::uint32_t count, std::uint8_t bearer,
+                 std::uint8_t direction, BytesView data);
+
+}  // namespace seed::crypto

@@ -1,0 +1,106 @@
+#include "crypto/milenage.h"
+
+namespace seed::crypto {
+
+namespace {
+
+Block xor_block(const Block& a, const Block& b) {
+  Block out;
+  for (std::size_t i = 0; i < 16; ++i) out[i] = a[i] ^ b[i];
+  return out;
+}
+
+// Cyclic rotation left by r bits (r is a multiple of 8 in Milenage).
+Block rotate(const Block& in, int r_bits) {
+  const std::size_t r = static_cast<std::size_t>(r_bits / 8);
+  Block out;
+  for (std::size_t i = 0; i < 16; ++i) out[i] = in[(i + r) % 16];
+  return out;
+}
+
+Block constant_block(std::uint8_t last) {
+  Block c{};
+  c[15] = last;
+  return c;
+}
+
+}  // namespace
+
+Milenage::Milenage(const Key128& k, const Key128& op) : k_(k) {
+  const Aes128 aes(k);
+  Block opb;
+  for (std::size_t i = 0; i < 16; ++i) opb[i] = op[i];
+  const Block e = aes.encrypt(opb);
+  for (std::size_t i = 0; i < 16; ++i) opc_[i] = e[i] ^ op[i];
+}
+
+Milenage::Milenage(const Key128& k, const Key128& opc, bool)
+    : k_(k), opc_(opc) {}
+
+Milenage Milenage::from_opc(const Key128& k, const Key128& opc) {
+  return Milenage(k, opc, true);
+}
+
+MilenageOutput Milenage::compute(const Block& rand,
+                                 const std::array<std::uint8_t, 6>& sqn,
+                                 const std::array<std::uint8_t, 2>& amf) const {
+  const Aes128 aes(k_);
+  Block opc;
+  for (std::size_t i = 0; i < 16; ++i) opc[i] = opc_[i];
+
+  const Block temp = aes.encrypt(xor_block(rand, opc));
+
+  // f1 / f1*: IN1 = SQN || AMF || SQN || AMF.
+  Block in1{};
+  for (std::size_t i = 0; i < 6; ++i) in1[i] = sqn[i];
+  in1[6] = amf[0];
+  in1[7] = amf[1];
+  for (std::size_t i = 0; i < 6; ++i) in1[i + 8] = sqn[i];
+  in1[14] = amf[0];
+  in1[15] = amf[1];
+
+  const Block c1 = constant_block(0x00);
+  const Block c2 = constant_block(0x01);
+  const Block c3 = constant_block(0x02);
+  const Block c4 = constant_block(0x04);
+  const Block c5 = constant_block(0x08);
+
+  // OUT1 = E_K(TEMP xor rot(IN1 xor OPc, r1) xor c1) xor OPc, r1 = 64.
+  Block out1 = xor_block(
+      aes.encrypt(xor_block(xor_block(temp, rotate(xor_block(in1, opc), 64)),
+                            c1)),
+      opc);
+  // OUT2 = E_K(rot(TEMP xor OPc, r2) xor c2) xor OPc, r2 = 0.
+  Block out2 = xor_block(
+      aes.encrypt(xor_block(rotate(xor_block(temp, opc), 0), c2)), opc);
+  // OUT3: r3 = 32, c3. OUT4: r4 = 64, c4. OUT5: r5 = 96, c5.
+  Block out3 = xor_block(
+      aes.encrypt(xor_block(rotate(xor_block(temp, opc), 32), c3)), opc);
+  Block out4 = xor_block(
+      aes.encrypt(xor_block(rotate(xor_block(temp, opc), 64), c4)), opc);
+  Block out5 = xor_block(
+      aes.encrypt(xor_block(rotate(xor_block(temp, opc), 96), c5)), opc);
+
+  MilenageOutput result{};
+  for (std::size_t i = 0; i < 8; ++i) result.mac_a[i] = out1[i];
+  for (std::size_t i = 0; i < 8; ++i) result.mac_s[i] = out1[i + 8];
+  for (std::size_t i = 0; i < 8; ++i) result.res[i] = out2[i + 8];
+  for (std::size_t i = 0; i < 6; ++i) result.ak[i] = out2[i];
+  result.ck = out3;
+  result.ik = out4;
+  for (std::size_t i = 0; i < 6; ++i) result.ak_s[i] = out5[i];
+  return result;
+}
+
+Block Milenage::build_autn(const MilenageOutput& out,
+                           const std::array<std::uint8_t, 6>& sqn,
+                           const std::array<std::uint8_t, 2>& amf) const {
+  Block autn{};
+  for (std::size_t i = 0; i < 6; ++i) autn[i] = sqn[i] ^ out.ak[i];
+  autn[6] = amf[0];
+  autn[7] = amf[1];
+  for (std::size_t i = 0; i < 8; ++i) autn[i + 8] = out.mac_a[i];
+  return autn;
+}
+
+}  // namespace seed::crypto

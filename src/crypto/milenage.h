@@ -1,0 +1,54 @@
+// Milenage authentication algorithm set (3GPP TS 35.205/35.206).
+//
+// Implements f1 (MAC-A), f1* (MAC-S), f2 (RES), f3 (CK), f4 (IK),
+// f5 (AK), f5* (AK-S) — the functions the SIM and AUSF run during 5G-AKA.
+// SEED reuses this machinery: the DFlag-carrying Authentication Request is
+// recognized *before* Milenage verification (reserved RAND = FF..FF).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "crypto/aes.h"
+
+namespace seed::crypto {
+
+struct MilenageOutput {
+  std::array<std::uint8_t, 8> mac_a;   // f1
+  std::array<std::uint8_t, 8> mac_s;   // f1*
+  std::array<std::uint8_t, 8> res;     // f2
+  Block ck;                            // f3
+  Block ik;                            // f4
+  std::array<std::uint8_t, 6> ak;      // f5
+  std::array<std::uint8_t, 6> ak_s;    // f5*
+};
+
+class Milenage {
+ public:
+  /// `op` is the operator variant configuration field; OPc is derived.
+  Milenage(const Key128& k, const Key128& op);
+
+  /// Constructs directly from a precomputed OPc.
+  static Milenage from_opc(const Key128& k, const Key128& opc);
+
+  const Key128& opc() const { return opc_; }
+
+  /// Runs all functions for the given RAND / SQN / AMF.
+  MilenageOutput compute(const Block& rand,
+                         const std::array<std::uint8_t, 6>& sqn,
+                         const std::array<std::uint8_t, 2>& amf) const;
+
+  /// Builds the AUTN = (SQN xor AK) || AMF || MAC-A for an Auth Request.
+  Block build_autn(const MilenageOutput& out,
+                   const std::array<std::uint8_t, 6>& sqn,
+                   const std::array<std::uint8_t, 2>& amf) const;
+
+ private:
+  Milenage(const Key128& k, const Key128& opc, bool /*from_opc_tag*/);
+
+  Key128 k_;
+  Key128 opc_;
+};
+
+}  // namespace seed::crypto

@@ -1,0 +1,59 @@
+#include "crypto/security_context.h"
+
+#include "crypto/cmac.h"
+#include "crypto/ctr.h"
+
+namespace seed::crypto {
+
+SecurityContext::SecurityContext(const Key128& key, std::uint8_t bearer)
+    : key_(key), bearer_(bearer) {}
+
+Bytes SecurityContext::protect(BytesView plaintext, Direction dir) {
+  const auto d = static_cast<std::uint8_t>(dir);
+  const std::uint32_t count = tx_count_[d]++;
+  Bytes cipher = eea2_crypt(key_, count, bearer_, d, plaintext);
+  // 16-bit truncation of the 32-bit EIA2 MAC.
+  const std::uint16_t mac = static_cast<std::uint16_t>(
+      eia2_mac(key_, count, bearer_, d, cipher) >> 16);
+
+  Bytes frame;
+  frame.reserve(kOverhead + cipher.size());
+  frame.push_back(static_cast<std::uint8_t>(count >> 8));
+  frame.push_back(static_cast<std::uint8_t>(count));
+  frame.insert(frame.end(), cipher.begin(), cipher.end());
+  frame.push_back(static_cast<std::uint8_t>(mac >> 8));
+  frame.push_back(static_cast<std::uint8_t>(mac));
+  return frame;
+}
+
+std::optional<Bytes> SecurityContext::unprotect(BytesView frame,
+                                                Direction dir) {
+  if (frame.size() < kOverhead) return std::nullopt;
+  const auto d = static_cast<std::uint8_t>(dir);
+  // Reconstruct the full 32-bit counter from the 16-bit wire value using
+  // the highest counter seen so far (window-based extension).
+  const std::uint16_t wire_count =
+      static_cast<std::uint16_t>((frame[0] << 8) | frame[1]);
+  const std::uint32_t base =
+      rx_high_[d] < 0 ? 0
+                      : static_cast<std::uint32_t>(rx_high_[d]) & 0xffff0000u;
+  std::uint32_t count = base | wire_count;
+  if (rx_high_[d] >= 0 &&
+      wire_count <= (static_cast<std::uint32_t>(rx_high_[d]) & 0xffffu) &&
+      count <= static_cast<std::uint32_t>(rx_high_[d])) {
+    count += 0x10000u;  // wrapped epoch
+  }
+  if (static_cast<std::int64_t>(count) <= rx_high_[d]) {
+    return std::nullopt;  // replay or stale
+  }
+  const BytesView cipher = frame.subspan(2, frame.size() - 4);
+  const std::uint16_t mac_recv = static_cast<std::uint16_t>(
+      (frame[frame.size() - 2] << 8) | frame[frame.size() - 1]);
+  const std::uint16_t mac_calc = static_cast<std::uint16_t>(
+      eia2_mac(key_, count, bearer_, d, cipher) >> 16);
+  if (mac_recv != mac_calc) return std::nullopt;
+  rx_high_[d] = count;
+  return eea2_crypt(key_, count, bearer_, d, cipher);
+}
+
+}  // namespace seed::crypto

@@ -1,0 +1,105 @@
+#include "device/device.h"
+
+#include "common/params.h"
+
+namespace seed::device {
+
+std::string_view scheme_name(Scheme s) {
+  switch (s) {
+    case Scheme::kLegacy: return "Legacy";
+    case Scheme::kSeedU: return "SEED-U";
+    case Scheme::kSeedR: return "SEED-R";
+  }
+  return "?";
+}
+
+Device::Device(sim::Simulator& sim, sim::Rng& rng, ran::Gnb& gnb,
+               corenet::CoreNetwork& core, const DeviceOptions& options)
+    : sim_(sim), rng_(rng), options_(options) {
+  applet_ = std::make_unique<applet::SeedApplet>(
+      sim, rng, options.profile, options.k, options.opc, options.seed_key);
+  applet_->enable_seed(options.scheme != Scheme::kLegacy);
+
+  modem_ = std::make_unique<modem::Modem>(
+      sim, rng, *applet_, gnb,
+      [&core](Bytes wire) { core.on_uplink(wire); });
+  core.attach_device(options.profile.suci.to_string(),
+                     [this](Bytes wire) { modem_->on_downlink(wire); });
+
+  traffic_ = std::make_unique<transport::TrafficEngine>(sim, rng, *modem_,
+                                                        core);
+  android_ = std::make_unique<android::AndroidOs>(sim, rng, *traffic_,
+                                                  *modem_);
+  carrier_ = std::make_unique<android::CarrierApp>(
+      *applet_, options.scheme == Scheme::kSeedR);
+  battery_ = std::make_unique<metrics::EnergyMeter>(
+      params::kBatteryCapacityMj);
+
+  applet_->set_modem_control(modem_.get());
+  applet_->set_recovery_probe([this] { return traffic_->path_healthy(); });
+  applet_->set_record_uploader(
+      [core = &core](const std::vector<core::SimRecordStore::Entry>& e) {
+        core->upload_sim_records(e);
+      });
+  applet_->set_user_notifier([this](std::string) { ++user_notifications_; });
+
+  modem_->set_data_state_handler([this](bool up) {
+    if (up) applet_->notify_recovered();
+  });
+
+  android_->set_retry_timers(options.retry_timers);
+  if (options.scheme == Scheme::kLegacy) {
+    android_->set_sequential_retry_enabled(true);
+  } else {
+    // SEED replaces the level-by-level retry; Android's detector still
+    // feeds the carrier app -> applet (the OS report path of Fig. 4).
+    android_->set_sequential_retry_enabled(false);
+    android_->set_stall_handler([this] { carrier_->on_data_stall(); });
+  }
+}
+
+void Device::power_on() {
+  modem_->power_on();
+  android_->start();
+}
+
+apps::App& Device::add_app(const apps::AppSpec& spec) {
+  apps_.push_back(std::make_unique<apps::App>(sim_, rng_, *traffic_, spec));
+  apps::App& app = *apps_.back();
+  if (options_.scheme != Scheme::kLegacy) {
+    app.set_report_sink([this](const proto::FailureReport& r) {
+      carrier_->report_failure(r);
+    });
+  }
+  app.start();
+  return app;
+}
+
+void Device::start_battery_accounting(bool mobileinsight) {
+  battery_mobileinsight_ = mobileinsight;
+  if (battery_running_) return;
+  battery_running_ = true;
+  last_diag_count_ = applet_->stats().diags_received +
+                     applet_->stats().reports_received;
+  battery_tick();
+}
+
+void Device::battery_tick() {
+  if (!battery_running_) return;
+  battery_->charge("baseline", params::kBaselineDrawMw);  // 1 s of draw
+  if (battery_mobileinsight_) {
+    battery_->charge("mobileinsight", params::kMobileInsightMsgRateHz *
+                                          params::kMobileInsightMsgEnergyMj);
+  } else if (options_.scheme != Scheme::kLegacy) {
+    const std::uint64_t now_count = applet_->stats().diags_received +
+                                    applet_->stats().reports_received;
+    const std::uint64_t delta = now_count - last_diag_count_;
+    last_diag_count_ = now_count;
+    battery_->charge("seed_diagnosis",
+                     static_cast<double>(delta) *
+                         params::kSimDiagnosisEnergyMj);
+  }
+  sim_.schedule_after(sim::seconds(1), [this] { battery_tick(); });
+}
+
+}  // namespace seed::device

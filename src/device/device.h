@@ -1,0 +1,86 @@
+// A complete simulated 5G handset: SEED SIM applet + modem + Android OS
+// + carrier app + transport engine + apps + battery accounting.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "android/android_os.h"
+#include "apps/app_model.h"
+#include "corenet/core_network.h"
+#include "metrics/meters.h"
+#include "modem/modem.h"
+#include "ran/gnb.h"
+#include "simapplet/applet.h"
+#include "simcore/rng.h"
+#include "simcore/simulator.h"
+#include "transport/traffic.h"
+
+namespace seed::device {
+
+/// Failure-handling scheme under test (paper Table 4/5 columns).
+enum class Scheme : std::uint8_t { kLegacy, kSeedU, kSeedR };
+
+std::string_view scheme_name(Scheme s);
+
+struct DeviceOptions {
+  Scheme scheme = Scheme::kSeedU;
+  modem::SimProfile profile;
+  crypto::Key128 k{};
+  crypto::Key128 opc{};
+  crypto::Key128 seed_key{};
+  android::RetryTimers retry_timers = android::RetryTimers::kRecommended;
+};
+
+class Device {
+ public:
+  Device(sim::Simulator& sim, sim::Rng& rng, ran::Gnb& gnb,
+         corenet::CoreNetwork& core, const DeviceOptions& options);
+
+  /// Boots the modem and starts OS-level monitoring.
+  void power_on();
+
+  // component access
+  applet::SeedApplet& applet() { return *applet_; }
+  modem::Modem& modem() { return *modem_; }
+  android::AndroidOs& os() { return *android_; }
+  android::CarrierApp& carrier_app() { return *carrier_; }
+  transport::TrafficEngine& traffic() { return *traffic_; }
+  metrics::EnergyMeter& battery() { return *battery_; }
+
+  /// Adds and starts an app; SEED schemes wire its report sink to the
+  /// carrier app automatically.
+  apps::App& add_app(const apps::AppSpec& spec);
+  const std::vector<std::unique_ptr<apps::App>>& app_list() const {
+    return apps_;
+  }
+
+  Scheme scheme() const { return options_.scheme; }
+  std::uint64_t user_notifications() const { return user_notifications_; }
+
+  /// Battery accounting: charges the baseline platform draw plus per-event
+  /// SIM diagnosis energy every second (Fig. 11b model). Optional
+  /// `mobileinsight` adds the diag-port decoder draw instead of SEED's.
+  void start_battery_accounting(bool mobileinsight = false);
+
+ private:
+  void battery_tick();
+
+  sim::Simulator& sim_;
+  sim::Rng& rng_;
+  DeviceOptions options_;
+  std::unique_ptr<applet::SeedApplet> applet_;
+  std::unique_ptr<modem::Modem> modem_;
+  std::unique_ptr<transport::TrafficEngine> traffic_;
+  std::unique_ptr<android::AndroidOs> android_;
+  std::unique_ptr<android::CarrierApp> carrier_;
+  std::unique_ptr<metrics::EnergyMeter> battery_;
+  std::vector<std::unique_ptr<apps::App>> apps_;
+  std::uint64_t user_notifications_ = 0;
+  bool battery_running_ = false;
+  bool battery_mobileinsight_ = false;
+  std::uint64_t last_diag_count_ = 0;
+};
+
+}  // namespace seed::device

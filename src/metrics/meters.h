@@ -1,0 +1,74 @@
+// Energy and CPU cost accounting used by the Fig. 11 overhead experiments.
+//
+// The paper measures absolute battery % and CPU %; we model both as linear
+// cost accumulators with per-operation costs calibrated in
+// testbed/calibration.h. The *shape* (slopes, deltas between schemes) is
+// the reproduced quantity.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+namespace seed::metrics {
+
+/// Accumulates energy in millijoules, charged by named operations; converts
+/// to battery percentage against a configured capacity.
+class EnergyMeter {
+ public:
+  /// `battery_capacity_mj`: full-battery energy (e.g. a phone battery
+  /// ~4000 mAh * 3.85 V ~= 55 kJ; we use an abstract figure).
+  explicit EnergyMeter(double battery_capacity_mj)
+      : capacity_mj_(battery_capacity_mj) {}
+
+  void charge(const std::string& op, double mj) {
+    total_mj_ += mj;
+    by_op_[op] += mj;
+  }
+
+  double total_mj() const { return total_mj_; }
+  double battery_fraction_used() const { return total_mj_ / capacity_mj_; }
+  double by_op_mj(const std::string& op) const {
+    const auto it = by_op_.find(op);
+    return it == by_op_.end() ? 0.0 : it->second;
+  }
+
+ private:
+  double capacity_mj_;
+  double total_mj_ = 0;
+  std::unordered_map<std::string, double> by_op_;
+};
+
+/// Accumulates CPU busy time (seconds of core time) against a core budget,
+/// reporting average utilization over an interval.
+class CpuMeter {
+ public:
+  explicit CpuMeter(int cores) : cores_(cores) {}
+
+  void charge(const std::string& op, double core_seconds) {
+    busy_s_ += core_seconds;
+    by_op_[op] += core_seconds;
+  }
+
+  /// Average utilization over `wall_seconds` of simulated time, in [0, 1+].
+  double utilization(double wall_seconds) const {
+    return busy_s_ / (static_cast<double>(cores_) * wall_seconds);
+  }
+
+  double busy_core_seconds() const { return busy_s_; }
+  double by_op_core_seconds(const std::string& op) const {
+    const auto it = by_op_.find(op);
+    return it == by_op_.end() ? 0.0 : it->second;
+  }
+  void reset() {
+    busy_s_ = 0;
+    by_op_.clear();
+  }
+
+ private:
+  int cores_;
+  double busy_s_ = 0;
+  std::unordered_map<std::string, double> by_op_;
+};
+
+}  // namespace seed::metrics

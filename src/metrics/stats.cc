@@ -1,0 +1,84 @@
+#include "metrics/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace seed::metrics {
+
+void Samples::ensure_sorted() const {
+  if (!sorted_valid_ || sorted_.size() != values_.size()) {
+    sorted_ = values_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+}
+
+double Samples::mean() const {
+  if (values_.empty()) throw std::logic_error("Samples::mean on empty set");
+  double sum = 0;
+  for (double v : values_) sum += v;
+  return sum / static_cast<double>(values_.size());
+}
+
+double Samples::stddev() const {
+  if (values_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0;
+  for (double v : values_) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(values_.size() - 1));
+}
+
+double Samples::min() const {
+  ensure_sorted();
+  if (sorted_.empty()) throw std::logic_error("Samples::min on empty set");
+  return sorted_.front();
+}
+
+double Samples::max() const {
+  ensure_sorted();
+  if (sorted_.empty()) throw std::logic_error("Samples::max on empty set");
+  return sorted_.back();
+}
+
+double Samples::percentile(double p) const {
+  if (values_.empty()) {
+    throw std::logic_error("Samples::percentile on empty set");
+  }
+  if (p < 0 || p > 100) {
+    throw std::invalid_argument("percentile p out of [0,100]");
+  }
+  ensure_sorted();
+  if (sorted_.size() == 1) return sorted_[0];
+  const double rank = p / 100.0 * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= sorted_.size()) return sorted_.back();
+  return sorted_[lo] * (1.0 - frac) + sorted_[lo + 1] * frac;
+}
+
+double Samples::cdf_at(double x) const {
+  if (values_.empty()) return 0.0;
+  ensure_sorted();
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+Series make_cdf(const Samples& s, const std::string& name,
+                std::size_t points) {
+  Series out;
+  out.name = name;
+  if (s.empty() || points < 2) return out;
+  const double lo = s.min();
+  const double hi = s.max();
+  for (std::size_t i = 0; i < points; ++i) {
+    const double x =
+        lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(points - 1);
+    out.x.push_back(x);
+    out.y.push_back(s.cdf_at(x));
+  }
+  return out;
+}
+
+}  // namespace seed::metrics

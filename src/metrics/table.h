@@ -1,0 +1,30 @@
+// Fixed-width console table printer so benches emit paper-style rows.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace seed::metrics {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 1);
+  static std::string pct(double fraction, int precision = 1);
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a titled section banner for bench output.
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace seed::metrics

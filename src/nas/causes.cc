@@ -1,0 +1,189 @@
+#include "nas/causes.h"
+
+#include <algorithm>
+#include <array>
+
+namespace seed::nas {
+
+namespace {
+
+using enum CauseCategory;
+using enum ConfigKind;
+
+constexpr Plane kCp = Plane::kControl;
+constexpr Plane kDp = Plane::kData;
+
+// 5GMM causes. Appendix-A config mappings follow the paper exactly:
+// #26/#27/#31/#72 -> supported RAT, #62 -> suggested S-NSSAI,
+// #91 -> suggested DNN, #95/#96/#100 -> invalid/missed config.
+constexpr std::array<CauseInfo, 39> kMmCauses = {{
+    {3, kCp, "Illegal UE", kAuthentication, kNone, true},
+    {5, kCp, "PEI not accepted", kIdentification, kNone, true},
+    {6, kCp, "Illegal ME", kAuthentication, kNone, true},
+    {7, kCp, "5GS services not allowed", kSubscription, kNone, true},
+    {9, kCp, "UE identity cannot be derived by the network", kIdentification,
+     kNone, false},
+    {10, kCp, "Implicitly de-registered", kIdentification, kNone, false},
+    // #11/#15 are not in the paper's Appendix-A list, but SEED's A2 action
+    // explicitly refreshes the PLMN priority list for them ("updates the
+    // control-plane configurations (e.g., PLMN list) to reduce excessive
+    // search time", §4.4.1) — so the registry marks them config-bearing.
+    {11, kCp, "PLMN not allowed", kMobility, kSupportedRat, false},
+    {12, kCp, "Tracking area not allowed", kMobility, kNone, false},
+    {13, kCp, "Roaming not allowed in this tracking area", kMobility, kNone,
+     false},
+    {15, kCp, "No suitable cells in tracking area", kMobility, kSupportedRat,
+     false},
+    {20, kCp, "MAC failure", kAuthentication, kNone, false},
+    {21, kCp, "Synch failure", kAuthentication, kNone, false},
+    {22, kCp, "Congestion", kCongestion, kNone, false},
+    {23, kCp, "UE security capabilities mismatch", kAuthentication, kNone,
+     false},
+    {24, kCp, "Security mode rejected, unspecified", kAuthentication, kNone,
+     false},
+    {26, kCp, "Non-5G authentication unacceptable", kConfiguration,
+     kSupportedRat, false},
+    {27, kCp, "N1 mode not allowed", kConfiguration, kSupportedRat, false},
+    {28, kCp, "Restricted service area", kMobility, kNone, false},
+    {31, kCp, "Redirection to EPC required", kConfiguration, kSupportedRat,
+     false},
+    {43, kCp, "LADN not available", kMobility, kNone, false},
+    {50, kCp, "No EPS bearer context activated", kIdentification, kNone,
+     false},
+    {62, kCp, "No network slices available", kConfiguration, kSuggestedSnssai,
+     false},
+    {65, kCp, "Maximum number of PDU sessions reached", kResource, kNone,
+     false},
+    {67, kCp, "Insufficient resources for specific slice and DNN", kResource,
+     kNone, false},
+    {69, kCp, "Insufficient resources for specific slice", kResource, kNone,
+     false},
+    {71, kCp, "ngKSI already in use", kAuthentication, kNone, false},
+    {72, kCp, "Non-3GPP access to 5GCN not allowed", kConfiguration,
+     kSupportedRat, false},
+    {73, kCp, "Serving network not authorized", kSubscription, kNone, true},
+    {90, kCp, "Payload was not forwarded", kProtocolError, kNone, false},
+    {91, kCp, "DNN not supported or not subscribed in the slice",
+     kConfiguration, kSuggestedDnn, false},
+    {92, kCp, "Insufficient user-plane resources for the PDU session",
+     kResource, kNone, false},
+    {95, kCp, "Semantically incorrect message", kInvalidMessage,
+     kInvalidOrMissedConfig, false},
+    {96, kCp, "Invalid mandatory information", kInvalidMessage,
+     kInvalidOrMissedConfig, false},
+    {97, kCp, "Message type non-existent or not implemented", kInvalidMessage,
+     kNone, false},
+    {98, kCp, "Message type not compatible with the protocol state",
+     kInvalidMessage, kNone, false},
+    {99, kCp, "Information element non-existent or not implemented",
+     kInvalidMessage, kNone, false},
+    {100, kCp, "Conditional IE error", kInvalidMessage, kInvalidOrMissedConfig,
+     false},
+    {101, kCp, "Message not compatible with the protocol state",
+     kInvalidMessage, kNone, false},
+    {111, kCp, "Protocol error, unspecified", kProtocolError, kNone, false},
+}};
+
+// 5GSM causes. Appendix-A config mappings follow the paper:
+// #27/#33/#39/#70 -> suggested DNN, #28 -> session type, #41/#42 -> TFT,
+// #43/#54 -> activated PDU session, #44/#45/#68/#83/#84 -> packet filter,
+// #59 -> 5QI, #95/#96/#100 -> invalid/missed config.
+constexpr std::array<CauseInfo, 40> kSmCauses = {{
+    {8, kDp, "Operator determined barring", kSubscription, kNone, true},
+    {26, kDp, "Insufficient resources", kResource, kNone, false},
+    {27, kDp, "Missing or unknown DNN", kConfiguration, kSuggestedDnn, false},
+    {28, kDp, "Unknown PDU session type", kConfiguration,
+     kSuggestedSessionType, false},
+    {29, kDp, "User authentication or authorization failed", kAuthentication,
+     kNone, true},
+    {31, kDp, "Request rejected, unspecified", kProtocolError, kNone, false},
+    {32, kDp, "Service option not supported", kSubscription, kNone, false},
+    {33, kDp, "Requested service option not subscribed", kConfiguration,
+     kSuggestedDnn, false},
+    {35, kDp, "PTI already in use", kInvalidMessage, kNone, false},
+    {36, kDp, "Regular deactivation", kIdentification, kNone, false},
+    {38, kDp, "Network failure", kProtocolError, kNone, false},
+    {39, kDp, "Reactivation requested", kConfiguration, kSuggestedDnn, false},
+    {41, kDp, "Semantic error in the TFT operation", kConfiguration,
+     kSuggestedTft, false},
+    {42, kDp, "Syntactical error in the TFT operation", kConfiguration,
+     kSuggestedTft, false},
+    {43, kDp, "Invalid PDU session identity", kConfiguration,
+     kActivatedPduSession, false},
+    {44, kDp, "Semantic errors in packet filter(s)", kConfiguration,
+     kSuggestedPacketFilter, false},
+    {45, kDp, "Syntactical error in packet filter(s)", kConfiguration,
+     kSuggestedPacketFilter, false},
+    {46, kDp, "Out of LADN service area", kMobility, kNone, false},
+    {47, kDp, "PTI mismatch", kInvalidMessage, kNone, false},
+    {50, kDp, "PDU session type IPv4 only allowed", kConfiguration,
+     kSuggestedSessionType, false},
+    {51, kDp, "PDU session type IPv6 only allowed", kConfiguration,
+     kSuggestedSessionType, false},
+    {54, kDp, "PDU session does not exist", kConfiguration,
+     kActivatedPduSession, false},
+    {59, kDp, "Unsupported 5QI value", kConfiguration, kSuggested5qi, false},
+    {67, kDp, "Insufficient resources for specific slice and DNN", kResource,
+     kNone, false},
+    {68, kDp, "Not supported SSC mode", kConfiguration,
+     kSuggestedPacketFilter, false},
+    {69, kDp, "Insufficient resources for specific slice", kResource, kNone,
+     false},
+    {70, kDp, "Missing or unknown DNN in a slice", kConfiguration,
+     kSuggestedDnn, false},
+    {81, kDp, "Invalid PTI value", kInvalidMessage, kNone, false},
+    {82, kDp, "Maximum data rate for UP integrity protection too low",
+     kResource, kNone, false},
+    {83, kDp, "Semantic error in the QoS operation", kConfiguration,
+     kSuggestedPacketFilter, false},
+    {84, kDp, "Syntactical error in the QoS operation", kConfiguration,
+     kSuggestedPacketFilter, false},
+    {85, kDp, "Invalid mapped EPS bearer identity", kInvalidMessage, kNone,
+     false},
+    {95, kDp, "Semantically incorrect message", kInvalidMessage,
+     kInvalidOrMissedConfig, false},
+    {96, kDp, "Invalid mandatory information", kInvalidMessage,
+     kInvalidOrMissedConfig, false},
+    {97, kDp, "Message type non-existent or not implemented", kInvalidMessage,
+     kNone, false},
+    {98, kDp, "Message type not compatible with the protocol state",
+     kInvalidMessage, kNone, false},
+    {99, kDp, "Information element non-existent or not implemented",
+     kInvalidMessage, kNone, false},
+    {100, kDp, "Conditional IE error", kInvalidMessage,
+     kInvalidOrMissedConfig, false},
+    {101, kDp, "Message not compatible with the protocol state",
+     kInvalidMessage, kNone, false},
+    {111, kDp, "Protocol error, unspecified", kProtocolError, kNone, false},
+}};
+
+}  // namespace
+
+std::span<const CauseInfo> all_mm_causes() { return kMmCauses; }
+std::span<const CauseInfo> all_sm_causes() { return kSmCauses; }
+
+const CauseInfo* find_cause(Plane plane, std::uint8_t code) {
+  const auto table = plane == Plane::kControl ? all_mm_causes()
+                                              : all_sm_causes();
+  const auto it = std::find_if(table.begin(), table.end(),
+                               [&](const CauseInfo& c) { return c.code == code; });
+  return it == table.end() ? nullptr : &*it;
+}
+
+ConfigKind config_kind_for(Plane plane, std::uint8_t code) {
+  const CauseInfo* info = find_cause(plane, code);
+  return info ? info->config : ConfigKind::kNone;
+}
+
+std::string_view cause_name(Plane plane, std::uint8_t code) {
+  const CauseInfo* info = find_cause(plane, code);
+  return info ? info->name : std::string_view("unknown-cause");
+}
+
+std::size_t registry_storage_bytes() {
+  // The applet stores per cause: code (1B), plane+category+config flags (1B),
+  // user-action flag folded in. Names stay off-SIM.
+  return (kMmCauses.size() + kSmCauses.size()) * 2;
+}
+
+}  // namespace seed::nas

@@ -1,0 +1,169 @@
+// Standardized 5G failure cause registry (TS 24.501-style).
+//
+// This is the table the SEED SIM applet stores in full (paper §4.3.1:
+// "5G defines 80+ failure codes ... the SIM applet stores all standardized
+// cause codes"). Each cause carries the metadata SEED's diagnosis needs:
+// which plane it belongs to, a coarse category, whether it is one of the
+// Appendix-A config-related causes (and which configuration the
+// infrastructure should attach), and whether recovery requires user action
+// (expired plan, unauthorized subscriber) — those are the cases SEED
+// cannot fix (paper §7.1.1: 89.4% / 95.5% coverage).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string_view>
+
+namespace seed::nas {
+
+enum class Plane : std::uint8_t { kControl, kData };
+
+/// 5GMM (control-plane management) causes, TS 24.501 §9.11.3.2.
+enum class MmCause : std::uint8_t {
+  kIllegalUe = 3,
+  kPeiNotAccepted = 5,
+  kIllegalMe = 6,
+  kServicesNotAllowed = 7,
+  kUeIdentityCannotBeDerived = 9,
+  kImplicitlyDeregistered = 10,
+  kPlmnNotAllowed = 11,
+  kTrackingAreaNotAllowed = 12,
+  kRoamingNotAllowedInTa = 13,
+  kNoSuitableCellsInTrackingArea = 15,
+  kMacFailure = 20,
+  kSynchFailure = 21,
+  kCongestion = 22,
+  kUeSecurityCapabilitiesMismatch = 23,
+  kSecurityModeRejectedUnspecified = 24,
+  kNon5gAuthenticationUnacceptable = 26,
+  kN1ModeNotAllowed = 27,
+  kRestrictedServiceArea = 28,
+  kRedirectionToEpcRequired = 31,
+  kLadnNotAvailable = 43,
+  kNoEpsBearerContextActivated = 50,
+  kMaximumNumberOfPduSessionsReached = 65,
+  kInsufficientResourcesForSliceAndDnn = 67,
+  kInsufficientResourcesForSlice = 69,
+  kNgKsiAlreadyInUse = 71,
+  kNon3gppAccessTo5gcnNotAllowed = 72,
+  kServingNetworkNotAuthorized = 73,
+  kNoNetworkSlicesAvailable = 62,
+  kPayloadWasNotForwarded = 90,
+  kDnnNotSupportedInSlice = 91,
+  kInsufficientUserPlaneResources = 92,
+  kSemanticallyIncorrectMessage = 95,
+  kInvalidMandatoryInformation = 96,
+  kMessageTypeNonExistent = 97,
+  kMessageTypeNotCompatibleWithState = 98,
+  kIeNonExistent = 99,
+  kConditionalIeError = 100,
+  kMessageNotCompatibleWithState = 101,
+  kProtocolErrorUnspecified = 111,
+};
+
+/// 5GSM (data-plane management) causes, TS 24.501 §9.11.4.2.
+enum class SmCause : std::uint8_t {
+  kOperatorDeterminedBarring = 8,
+  kInsufficientResources = 26,
+  kMissingOrUnknownDnn = 27,
+  kUnknownPduSessionType = 28,
+  kUserAuthenticationFailed = 29,
+  kRequestRejectedUnspecified = 31,
+  kServiceOptionNotSupported = 32,
+  kServiceOptionNotSubscribed = 33,
+  kPtiAlreadyInUse = 35,
+  kRegularDeactivation = 36,
+  kNetworkFailure = 38,
+  kReactivationRequested = 39,
+  kSemanticErrorInTft = 41,
+  kSyntacticalErrorInTft = 42,
+  kInvalidPduSessionIdentity = 43,
+  kSemanticErrorsInPacketFilters = 44,
+  kSyntacticalErrorsInPacketFilters = 45,
+  kOutOfLadnServiceArea = 46,
+  kPtiMismatch = 47,
+  kPduTypeIpv4OnlyAllowed = 50,
+  kPduTypeIpv6OnlyAllowed = 51,
+  kPduSessionDoesNotExist = 54,
+  kInsufficientResourcesForSliceAndDnn = 67,
+  kNotSupportedSscMode = 68,
+  kInsufficientResourcesForSlice = 69,
+  kMissingOrUnknownDnnInSlice = 70,
+  kUnsupported5QiValue = 59,
+  kInvalidPtiValue = 81,
+  kMaxDataRateForUpIntegrityTooLow = 82,
+  kSemanticErrorInQosOperation = 83,
+  kSyntacticalErrorInQosOperation = 84,
+  kInvalidMappedEpsBearerIdentity = 85,
+  kSemanticallyIncorrectMessage = 95,
+  kInvalidMandatoryInformation = 96,
+  kMessageTypeNonExistent = 97,
+  kMessageTypeNotCompatibleWithState = 98,
+  kIeNonExistent = 99,
+  kConditionalIeError = 100,
+  kMessageNotCompatibleWithState = 101,
+  kProtocolErrorUnspecified = 111,
+};
+
+/// Which configuration item the infrastructure attaches alongside a
+/// config-related cause (paper Appendix A).
+enum class ConfigKind : std::uint8_t {
+  kNone = 0,
+  kSupportedRat,
+  kSuggestedSnssai,
+  kSuggestedDnn,
+  kSuggestedSessionType,
+  kSuggestedTft,
+  kActivatedPduSession,
+  kSuggestedPacketFilter,
+  kSuggested5qi,
+  kInvalidOrMissedConfig,
+};
+
+enum class CauseCategory : std::uint8_t {
+  kIdentification,   // UE identity / state sync problems
+  kSubscription,     // subscription options / barring
+  kCongestion,       // cell or core overload
+  kAuthentication,   // security check failures
+  kInvalidMessage,   // malformed or state-mismatched signaling
+  kConfiguration,    // outdated / wrong configurations
+  kResource,         // insufficient resources
+  kMobility,         // area restrictions / cell selection
+  kProtocolError,    // unspecified protocol errors
+};
+
+struct CauseInfo {
+  std::uint8_t code;
+  Plane plane;
+  std::string_view name;
+  CauseCategory category;
+  ConfigKind config;            // != kNone → Appendix-A config-related
+  bool user_action_required;    // SEED cannot recover without the user
+};
+
+/// Full registries. Stable order, by code.
+std::span<const CauseInfo> all_mm_causes();
+std::span<const CauseInfo> all_sm_causes();
+
+/// Lookup; nullptr when the code is not standardized (SEED then treats it
+/// as a customized/unknown cause, §5).
+const CauseInfo* find_cause(Plane plane, std::uint8_t code);
+inline const CauseInfo* find_cause(MmCause c) {
+  return find_cause(Plane::kControl, static_cast<std::uint8_t>(c));
+}
+inline const CauseInfo* find_cause(SmCause c) {
+  return find_cause(Plane::kData, static_cast<std::uint8_t>(c));
+}
+
+/// Appendix-A helper: which config should accompany this cause?
+ConfigKind config_kind_for(Plane plane, std::uint8_t code);
+
+/// Human-readable name; "unknown-cause" when unregistered.
+std::string_view cause_name(Plane plane, std::uint8_t code);
+
+/// Approximate in-SIM footprint of the registry in bytes (used by the
+/// applet storage budget model; the paper argues 32–128 KB suffices).
+std::size_t registry_storage_bytes();
+
+}  // namespace seed::nas

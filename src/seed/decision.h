@@ -1,0 +1,63 @@
+// SIM-side handling decisions: paper Table 3 + §4.4.2 timing rules.
+//
+// Given a diagnosis (standardized cause with/without config, customized
+// cause with suggested action, congestion warning, or an app/OS data
+// delivery report) and the device mode (SEED-U without root / SEED-R with
+// root), produce the multi-tier reset plan.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "nas/causes.h"
+#include "seedproto/diag_payload.h"
+#include "seedproto/failure_report.h"
+#include "simcore/time.h"
+
+namespace seed::core {
+
+enum class DeviceMode : std::uint8_t { kSeedU, kSeedR };
+
+/// Diagnosis classes of Table 3 (rows) plus the special flows.
+enum class DiagnosisClass : std::uint8_t {
+  kControlPlaneCause,
+  kControlPlaneCauseWithConfig,
+  kDataPlaneCause,
+  kDataPlaneCauseWithConfig,
+  kDataDeliveryReport,
+  kCustomWithSuggestedAction,
+  kCustomUnknown,       // -> online-learning sequential trial
+  kCongestion,          // -> wait, no reset
+  kUserActionRequired,  // -> notify user
+};
+
+struct HandlingPlan {
+  DiagnosisClass klass;
+  /// Ordered actions to run (Table 3 cell; e.g. SEED-U c-plane w/ config
+  /// runs A2 then A1).
+  std::vector<proto::ResetAction> actions;
+  /// Delay before the first action (2 s for hardware/c-plane resets so
+  /// transient failures self-recover, §4.4.2; congestion uses the
+  /// network-provided timer).
+  sim::Duration wait{0};
+  bool notify_user = false;
+  /// True when the plan came from online learning trial mode.
+  bool learning_trial = false;
+};
+
+/// Classifies a downlink DiagInfo into a Table 3 row.
+DiagnosisClass classify(const proto::DiagInfo& info);
+
+/// Table 3: plan for a downlink assistance message.
+HandlingPlan decide(const proto::DiagInfo& info, DeviceMode mode);
+
+/// Plan for an app/OS data-delivery failure report (Table 3 last row).
+HandlingPlan decide_for_report(const proto::FailureReport& report,
+                               DeviceMode mode);
+
+/// Algorithm 1 line 2: the sequential trial order for unknown causes,
+/// filtered to the actions available in `mode`.
+std::vector<proto::ResetAction> learning_trial_order(DeviceMode mode);
+
+}  // namespace seed::core

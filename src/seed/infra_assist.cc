@@ -1,0 +1,79 @@
+#include "seed/infra_assist.h"
+
+namespace seed::core {
+
+using proto::AssistKind;
+using proto::DiagInfo;
+
+AssistAdvice classify_failure(const FailureEvent& event, NetRecord* learner,
+                              sim::Rng& rng) {
+  AssistAdvice advice;
+  DiagInfo d;
+  d.plane = event.plane;
+
+  if (!event.network_initiated) {
+    // ---- Passive branch of Fig. 8.
+    if (!event.device_responded) {
+      // Timeout without device response -> hardware reset request.
+      d.kind = AssistKind::kHardwareResetRequest;
+      d.suggested = proto::ResetAction::kB1ModemReset;
+      advice.diag = d;
+      return advice;
+    }
+    if (event.sim_reported_delivery) {
+      // Data delivery failure reported by SIM -> trigger data-plane reset
+      // (§4.3) or warn congestion (§5.2).
+      if (event.congested) {
+        d.kind = AssistKind::kCongestionWarning;
+        d.cause = static_cast<std::uint8_t>(nas::MmCause::kCongestion);
+        d.congestion_wait_s = event.congestion_wait_s;
+        advice.diag = d;
+        return advice;
+      }
+      advice.trigger_dplane_reset = true;
+      return advice;
+    }
+    // Device reject with a standardized cause -> forward the cause code.
+    d.kind = AssistKind::kStandardCause;
+    d.cause = event.standardized_cause;
+    advice.diag = d;
+    return advice;
+  }
+
+  // ---- Active branch (network-initialized reject).
+  if (event.standardized_cause != 0) {
+    d.cause = event.standardized_cause;
+    const auto kind = nas::config_kind_for(event.plane, d.cause);
+    if (kind != nas::ConfigKind::kNone && event.config) {
+      d.kind = AssistKind::kCauseWithConfig;  // config-needed branch
+      d.config = event.config;
+    } else {
+      d.kind = AssistKind::kStandardCause;  // no-config branch
+    }
+    advice.diag = d;
+    return advice;
+  }
+
+  // Unstandardized cause.
+  d.cause = static_cast<std::uint8_t>(event.custom_cause & 0xff);
+  if (event.custom_action) {
+    d.kind = AssistKind::kSuggestedAction;  // operator-provided handling
+    d.suggested = event.custom_action;
+    advice.diag = d;
+    return advice;
+  }
+  // No suggested action -> consult the online learner (§5.3).
+  if (learner != nullptr) {
+    if (const auto suggestion = learner->suggest(event.custom_cause, rng)) {
+      d.kind = AssistKind::kSuggestedAction;
+      d.suggested = suggestion;
+      advice.diag = d;
+      return advice;
+    }
+  }
+  d.kind = AssistKind::kCustomCauseNoAction;  // SIM runs the trial sequence
+  advice.diag = d;
+  return advice;
+}
+
+}  // namespace seed::core

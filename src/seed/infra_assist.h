@@ -1,0 +1,57 @@
+// Infrastructure-side diagnosis assistance (paper §5.2, Fig. 8).
+//
+// The core-network plugin feeds every failure event into classify(); the
+// resulting AssistAdvice says what to ship to the SIM over the downlink
+// channel (cause, cause+config, suggested action, congestion warning,
+// hardware-reset request, or an online-learning custom cause).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/bytes.h"
+#include "nas/causes.h"
+#include "seed/online_learning.h"
+#include "seedproto/diag_payload.h"
+#include "simcore/rng.h"
+
+namespace seed::core {
+
+/// A failure event as seen by the infrastructure (Fig. 8 decision inputs).
+struct FailureEvent {
+  /// Active = the network initialized the reject; passive = device
+  /// timeout, device reject, or SIM-reported data-delivery failure.
+  bool network_initiated = true;
+  /// Passive-only: did the device respond at all? (timeout branch)
+  bool device_responded = true;
+  /// Passive-only: SIM-reported data delivery failure.
+  bool sim_reported_delivery = false;
+  nas::Plane plane = nas::Plane::kControl;
+  /// Standardized cause code, or 0 when unstandardized.
+  std::uint8_t standardized_cause = 0;
+  /// Customized cause assigned by the operator for unstandardized
+  /// failures (§5.3); 0 when n/a.
+  CustomCause custom_cause = 0;
+  /// Operator knows a handling action for this customized failure.
+  std::optional<proto::ResetAction> custom_action;
+  /// Up-to-date configuration available for config-related causes
+  /// (encoded IE, Appendix A).
+  std::optional<proto::ConfigPayload> config;
+  /// Cell/core congestion at event time.
+  bool congested = false;
+  std::uint16_t congestion_wait_s = 30;
+};
+
+/// What to send to the SIM (plus whether the data-plane reset path of
+/// Fig. 6 should be armed for a delivery failure).
+struct AssistAdvice {
+  std::optional<proto::DiagInfo> diag;   // downlink payload, if any
+  bool trigger_dplane_reset = false;     // SIM-reported delivery failure
+};
+
+/// The Fig. 8 decision tree. `learner` supplies suggestions for custom
+/// causes without known actions; pass nullptr to disable online learning.
+AssistAdvice classify_failure(const FailureEvent& event, NetRecord* learner,
+                              sim::Rng& rng);
+
+}  // namespace seed::core

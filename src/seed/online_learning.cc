@@ -1,0 +1,76 @@
+#include "seed/online_learning.h"
+
+#include <cmath>
+
+namespace seed::core {
+
+bool SimRecordStore::record_success(CustomCause cause,
+                                    proto::ResetAction action) {
+  const auto key = std::make_pair(cause, action);
+  const auto it = records_.find(key);
+  if (it != records_.end()) {
+    ++it->second;
+    return true;
+  }
+  if (records_.size() >= max_entries_) return false;
+  records_.emplace(key, 1);
+  return true;
+}
+
+std::vector<SimRecordStore::Entry> SimRecordStore::snapshot() const {
+  std::vector<Entry> out;
+  out.reserve(records_.size());
+  for (const auto& [key, count] : records_) {
+    out.push_back(Entry{key.first, key.second, count});
+  }
+  return out;
+}
+
+void NetRecord::absorb(const std::vector<SimRecordStore::Entry>& entries) {
+  for (const auto& e : entries) absorb_one(e.cause, e.action, e.count);
+}
+
+void NetRecord::absorb_one(CustomCause cause, proto::ResetAction action,
+                           std::uint32_t count) {
+  table_[cause][action] += count;
+}
+
+std::uint32_t NetRecord::record_count(CustomCause cause) const {
+  const auto it = table_.find(cause);
+  if (it == table_.end()) return 0;
+  std::uint32_t total = 0;
+  for (const auto& [_, n] : it->second) total += n;
+  return total;
+}
+
+double NetRecord::suggestion_probability(CustomCause cause) const {
+  const std::uint32_t n = record_count(cause);
+  if (n == 0) return 0.0;
+  // Algorithm 1 line 14: 1 / (1 + e^{-lr * size(NetRecord[cause])}).
+  return 1.0 / (1.0 + std::exp(-lr_ * static_cast<double>(n)));
+}
+
+std::optional<proto::ResetAction> NetRecord::best_action(
+    CustomCause cause) const {
+  const auto it = table_.find(cause);
+  if (it == table_.end() || it->second.empty()) return std::nullopt;
+  proto::ResetAction best = it->second.begin()->first;
+  std::uint32_t best_n = 0;
+  for (const auto& [action, n] : it->second) {
+    if (n > best_n) {
+      best = action;
+      best_n = n;
+    }
+  }
+  return best;
+}
+
+std::optional<proto::ResetAction> NetRecord::suggest(CustomCause cause,
+                                                     sim::Rng& rng) {
+  const auto best = best_action(cause);
+  if (!best) return std::nullopt;  // line 17: send null
+  if (rng.uniform() < suggestion_probability(cause)) return best;  // line 15
+  return std::nullopt;  // keep exploring (line 14 else-branch)
+}
+
+}  // namespace seed::core

@@ -1,0 +1,87 @@
+// Collaborative online learning for failures with unknown handling
+// (paper §5.3, Algorithm 1).
+//
+// SIM side: SimRecordStore accumulates (customized cause -> successful
+// action) counts and flushes them to the infrastructure. Infra side:
+// NetRecord crowd-sources all SIM records; for a later device hitting the
+// same cause it suggests argmax(action) with probability
+// sigmoid(lr * record_count) — otherwise it stays silent so the model
+// keeps exploring (Algorithm 1 line 14).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "seedproto/diag_payload.h"
+#include "simcore/rng.h"
+
+namespace seed::core {
+
+/// Key: customized cause code (the infra generates these per failed
+/// function/policy, §5.3).
+using CustomCause = std::uint16_t;
+
+/// SIM-side record (Algorithm 1 lines 1-7). Bounded to fit SIM storage.
+class SimRecordStore {
+ public:
+  explicit SimRecordStore(std::size_t max_entries = 64)
+      : max_entries_(max_entries) {}
+
+  /// Records a successful recovery (line 4). Returns false when storage
+  /// is full and the entry was dropped.
+  bool record_success(CustomCause cause, proto::ResetAction action);
+
+  /// Serializable snapshot for SendToInfra (line 6); clears on flush
+  /// success (line 7).
+  struct Entry {
+    CustomCause cause;
+    proto::ResetAction action;
+    std::uint32_t count;
+  };
+  std::vector<Entry> snapshot() const;
+  void clear() { records_.clear(); }
+  bool empty() const { return records_.empty(); }
+  std::size_t entry_count() const { return records_.size(); }
+
+  /// Approximate storage footprint (cause 2B + action 1B + count 4B each).
+  std::size_t storage_bytes() const { return records_.size() * 7; }
+
+ private:
+  std::size_t max_entries_;
+  std::map<std::pair<CustomCause, proto::ResetAction>, std::uint32_t> records_;
+};
+
+/// Infra-side crowd-sourced model (Algorithm 1 lines 8-17).
+class NetRecord {
+ public:
+  /// `lr`: learning rate of the sigmoid gate.
+  explicit NetRecord(double lr = 0.05) : lr_(lr) {}
+
+  /// Crowdsource (lines 8-10).
+  void absorb(const std::vector<SimRecordStore::Entry>& entries);
+  void absorb_one(CustomCause cause, proto::ResetAction action,
+                  std::uint32_t count = 1);
+
+  /// Lines 11-17: returns the suggested action, or nullopt when the cause
+  /// is unknown or the sigmoid gate decides to keep exploring.
+  std::optional<proto::ResetAction> suggest(CustomCause cause, sim::Rng& rng);
+
+  /// Deterministic argmax (for tests / reporting); nullopt if unseen.
+  std::optional<proto::ResetAction> best_action(CustomCause cause) const;
+
+  /// Total records for a cause (the sigmoid input).
+  std::uint32_t record_count(CustomCause cause) const;
+
+  /// Probability the gate suggests (exposed for the Fig.-style bench).
+  double suggestion_probability(CustomCause cause) const;
+
+  std::size_t known_causes() const { return table_.size(); }
+
+ private:
+  double lr_;
+  std::map<CustomCause, std::map<proto::ResetAction, std::uint32_t>> table_;
+};
+
+}  // namespace seed::core

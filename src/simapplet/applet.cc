@@ -1,0 +1,330 @@
+#include "simapplet/applet.h"
+
+#include "common/codec.h"
+#include "common/params.h"
+#include "simcore/log.h"
+
+namespace seed::applet {
+
+namespace {
+constexpr std::uint8_t kSeedBearer = 7;
+// Emulated footprint of the applet code itself (the paper's applet is
+// 1244 lines of Java; Javacard bytecode ~30 KB installed).
+constexpr std::size_t kAppletCodeBytes = 30 * 1024;
+}  // namespace
+
+SeedApplet::SeedApplet(sim::Simulator& sim, sim::Rng& rng,
+                       modem::SimProfile profile, const crypto::Key128& k,
+                       const crypto::Key128& opc,
+                       const crypto::Key128& seed_key)
+    : sim_(sim),
+      rng_(rng),
+      profile_(std::move(profile)),
+      milenage_(crypto::Milenage::from_opc(k, opc)),
+      seed_ctx_(seed_key, kSeedBearer),
+      pending_wait_(sim) {}
+
+modem::AuthResult SeedApplet::authenticate(
+    const std::array<std::uint8_t, 16>& rand,
+    const std::array<std::uint8_t, 16>& autn) {
+  ++stats_.auths_performed;
+
+  if (proto::is_dflag(rand)) {
+    if (!enabled_) {
+      // A legacy SIM runs Milenage on the garbage RAND and fails the MAC.
+      modem::AuthResult r;
+      r.kind = modem::AuthResult::Kind::kMacFailure;
+      return r;
+    }
+    // SEED downlink fragment: do not verify the key; parse the AUTH
+    // (paper §4.5). ACK via synchronization failure.
+    ++stats_.fragments_acked;
+    if (const auto frame = reassembler_.feed(autn)) {
+      const auto plain =
+          seed_ctx_.unprotect(*frame, crypto::Direction::kDownlink);
+      if (plain) {
+        if (const auto info = proto::DiagInfo::decode(*plain)) {
+          // Hand off to the decision module after SIM processing time.
+          const proto::DiagInfo copy = *info;
+          sim_.schedule_after(sim::ms(4), [this, copy] { handle_diag(copy); });
+        }
+      }
+    }
+    modem::AuthResult r;
+    r.kind = modem::AuthResult::Kind::kSynchFailure;
+    r.auts.fill(0x5e);  // opaque ACK token
+    return r;
+  }
+
+  // Normal 5G-AKA: derive RES from RAND/AUTN via Milenage. The AUTN MAC
+  // is verified against the SQN carried in AUTN.
+  crypto::Block rnd{};
+  for (std::size_t i = 0; i < 16; ++i) rnd[i] = rand[i];
+  std::array<std::uint8_t, 2> amf = {autn[6], autn[7]};
+  // Recover SQN: AK depends only on RAND, compute with a dummy SQN first.
+  const auto probe = milenage_.compute(rnd, {}, amf);
+  std::array<std::uint8_t, 6> sqn{};
+  for (std::size_t i = 0; i < 6; ++i) sqn[i] = autn[i] ^ probe.ak[i];
+  const auto out = milenage_.compute(rnd, sqn, amf);
+  bool mac_ok = true;
+  for (std::size_t i = 0; i < 8; ++i) {
+    if (autn[8 + i] != out.mac_a[i]) mac_ok = false;
+  }
+  modem::AuthResult r;
+  if (!mac_ok) {
+    r.kind = modem::AuthResult::Kind::kMacFailure;
+    return r;
+  }
+  r.kind = modem::AuthResult::Kind::kSuccess;
+  r.res = Bytes(out.res.begin(), out.res.end());
+  return r;
+}
+
+void SeedApplet::on_root_status(bool rooted) {
+  mode_ = rooted ? core::DeviceMode::kSeedR : core::DeviceMode::kSeedU;
+}
+
+void SeedApplet::notify_recovered() {
+  if (pending_wait_.armed()) {
+    pending_wait_.cancel();
+    ++stats_.plans_cancelled_by_recovery;
+    plan_in_flight_ = false;
+  }
+}
+
+std::size_t SeedApplet::storage_used_bytes() const {
+  return kAppletCodeBytes + nas::registry_storage_bytes() +
+         records_.storage_bytes() + /*config store*/ 256;
+}
+
+// ------------------------------------------------------- decision module
+
+void SeedApplet::handle_diag(const proto::DiagInfo& info) {
+  if (!enabled_) return;
+  ++stats_.diags_received;
+  SLOG(kInfo, "applet") << "diagnosis: "
+                        << nas::cause_name(info.plane, info.cause) << " (#"
+                        << int(info.cause) << ")"
+                        << (info.config ? " + config" : "");
+  last_cause_time_ = sim_.now();
+
+  if (info.config) apply_config(*info.config);
+
+  core::HandlingPlan plan = core::decide(info, mode_);
+  if (plan.notify_user) {
+    ++stats_.user_notifications;
+    if (notify_user_) {
+      notify_user_(std::string(nas::cause_name(info.plane, info.cause)));
+    }
+    return;
+  }
+  if (plan.actions.empty() && plan.wait.count() == 0) return;
+  execute_plan(std::move(plan), info.cause);
+}
+
+void SeedApplet::apply_config(const proto::ConfigPayload& config) {
+  Reader r(config.value);
+  switch (config.kind) {
+    case nas::ConfigKind::kSuggestedDnn: {
+      if (const auto dnn = nas::Dnn::decode(r); dnn && r.done()) {
+        profile_.dnn = dnn->to_string();
+        pending_dp_config_dnn_ = profile_.dnn;
+      }
+      break;
+    }
+    case nas::ConfigKind::kSupportedRat: {
+      if (const auto plmn = nas::PlmnId::decode(r); plmn && r.done()) {
+        profile_.preferred_plmn = *plmn;
+      }
+      break;
+    }
+    case nas::ConfigKind::kSuggestedSnssai: {
+      if (const auto slice = nas::SNssai::decode(r); slice && r.done()) {
+        profile_.snssai = *slice;
+        if (control_ != nullptr) control_->update_slice(*slice);
+        // The follow-up A3/B3 re-establishes on the served slice; mark a
+        // data-plane config so B3 runs as a modification.
+        pending_dp_config_dnn_ = profile_.dnn;
+      }
+      break;
+    }
+    case nas::ConfigKind::kSuggestedSessionType: {
+      const std::uint8_t t = r.u8();
+      if (r.done() && t >= 1 && t <= 5) {
+        profile_.pdu_type = static_cast<nas::PduSessionType>(t);
+      }
+      break;
+    }
+    case nas::ConfigKind::kSuggested5qi: {
+      const std::uint8_t q = r.u8();
+      if (r.done() && nas::is_standard_5qi(q)) profile_.fiveqi = q;
+      break;
+    }
+    default:
+      break;  // TFT/filter suggestions are applied network-side
+  }
+}
+
+void SeedApplet::execute_plan(core::HandlingPlan plan, std::uint8_t cause) {
+  if (plan_in_flight_) return;  // one handling at a time
+  plan_in_flight_ = true;
+  ++stats_.plans_executed;
+  if (plan.learning_trial) ++stats_.learning_trials;
+
+  auto start = [this, plan, cause] {
+    // Transient check: if service already recovered during the wait, the
+    // reset is unnecessary (§4.4.2).
+    if (recovery_probe_ && recovery_probe_()) {
+      ++stats_.plans_cancelled_by_recovery;
+      plan_in_flight_ = false;
+      return;
+    }
+    run_actions(plan.actions, 0, plan.learning_trial, cause);
+  };
+
+  if (plan.wait.count() > 0) {
+    pending_wait_.arm(plan.wait, start);
+  } else {
+    start();
+  }
+}
+
+bool SeedApplet::rate_limited(proto::ResetAction a) {
+  const auto it = last_action_time_.find(a);
+  if (it != last_action_time_.end() &&
+      sim_.now() - it->second < params::kSeedActionRateLimit) {
+    return true;
+  }
+  last_action_time_[a] = sim_.now();
+  return false;
+}
+
+void SeedApplet::run_actions(std::vector<proto::ResetAction> actions,
+                             std::size_t idx, bool learning,
+                             std::uint8_t cause) {
+  if (idx >= actions.size()) {
+    plan_in_flight_ = false;
+    return;
+  }
+  const proto::ResetAction action = actions[idx];
+  if (control_ == nullptr) {
+    plan_in_flight_ = false;
+    return;
+  }
+  if (rate_limited(action)) {
+    ++stats_.actions_rate_limited;
+    run_actions(std::move(actions), idx + 1, learning, cause);
+    return;
+  }
+  ++stats_.actions_run;
+  SLOG(kInfo, "applet") << "reset action " << proto::reset_action_name(action);
+
+  auto next = [this, actions, idx, learning, cause](bool ok) mutable {
+    const bool healthy = ok && (!recovery_probe_ || recovery_probe_());
+    if (healthy) {
+      if (learning) {
+        // Algorithm 1 lines 3-7: record and upload the success.
+        records_.record_success(cause, actions[idx]);
+        if (upload_records_) {
+          upload_records_(records_.snapshot());
+          records_.clear();
+        }
+      }
+      plan_in_flight_ = false;
+      return;
+    }
+    run_actions(std::move(actions), idx + 1, learning, cause);
+  };
+
+  switch (action) {
+    case proto::ResetAction::kA1ProfileReload:
+      control_->refresh_profile(next);
+      break;
+    case proto::ResetAction::kA2CPlaneConfigUpdate:
+      control_->update_cplane_config(profile_.preferred_plmn);
+      // Config application is instantaneous; success is judged by the
+      // follow-up action (A1/B2) that uses it.
+      next(false);
+      break;
+    case proto::ResetAction::kA3DPlaneConfigUpdate:
+      control_->update_dplane_config(profile_.dnn, std::nullopt, next);
+      break;
+    case proto::ResetAction::kB1ModemReset:
+      control_->at_modem_reset(next);
+      break;
+    case proto::ResetAction::kB2CPlaneReattach:
+      control_->at_reattach(next);
+      break;
+    case proto::ResetAction::kB3DPlaneReset:
+      if (pending_dp_config_dnn_) {
+        // Config-related cause: modify with the fresh config (Table 3).
+        const std::string dnn = *pending_dp_config_dnn_;
+        pending_dp_config_dnn_.reset();
+        control_->at_dplane_modify(dnn, next);
+      } else {
+        control_->fast_dplane_reset(next);
+      }
+      break;
+    case proto::ResetAction::kNone:
+    case proto::ResetAction::kNotifyUser:
+      next(false);
+      break;
+  }
+}
+
+// --------------------------------------------------- data delivery path
+
+void SeedApplet::report_failure(const proto::FailureReport& report) {
+  if (!enabled_) return;
+  ++stats_.reports_received;
+  // Conflict window: an ongoing cause-based handling supersedes (§4.4.2).
+  if (sim_.now() - last_cause_time_ < params::kSeedConflictWindow) {
+    ++stats_.reports_suppressed_conflict;
+    return;
+  }
+  if (mode_ == core::DeviceMode::kSeedR) {
+    send_report_uplink(report);
+    return;
+  }
+  core::HandlingPlan plan = core::decide_for_report(report, mode_);
+  execute_plan(std::move(plan), 0);
+}
+
+void SeedApplet::on_os_data_stall() {
+  proto::FailureReport r;
+  r.type = proto::FailureType::kNoConnection;
+  r.direction = proto::TrafficDirection::kBoth;
+  report_failure(r);
+}
+
+void SeedApplet::send_report_uplink(const proto::FailureReport& report) {
+  if (control_ == nullptr) return;
+  ++stats_.reports_sent_uplink;
+  // Uplink prep: APDU collection + SIM-side encode/crypto (Fig. 12).
+  const auto prep_start = sim_.now();
+  const auto prep = sim::secs_f(rng_.lognormal_median(
+      sim::to_seconds(params::kUplinkPrepMedian), params::kPrepSigma));
+  const Bytes frame =
+      seed_ctx_.protect(report.encode(), crypto::Direction::kUplink);
+  const auto dnns = proto::DiagDnnCodec::pack(frame);
+  sim_.schedule_after(prep, [this, dnns, prep_start] {
+    report_prep_ms_.push_back(sim::to_ms(sim_.now() - prep_start));
+    const auto send_start = sim_.now();
+    control_->send_diag_report(dnns, [this, send_start](bool /*acked*/) {
+      report_trans_ms_.push_back(sim::to_ms(sim_.now() - send_start));
+      // Give the network a beat to apply a config-only fix (modification
+      // command); if service is still down, run the Fig. 6 fast reset.
+      sim_.schedule_after(sim::ms(120), [this] {
+        if (recovery_probe_ && recovery_probe_()) return;
+        if (!rate_limited(proto::ResetAction::kB3DPlaneReset)) {
+          ++stats_.actions_run;
+          control_->fast_dplane_reset([](bool) {});
+        } else {
+          ++stats_.actions_rate_limited;
+        }
+      });
+    });
+  });
+}
+
+}  // namespace seed::applet

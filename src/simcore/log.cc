@@ -1,0 +1,32 @@
+#include "simcore/log.h"
+
+#include <array>
+#include <cstdio>
+
+namespace seed::sim {
+
+std::string format_time(TimePoint t) {
+  const double s = to_seconds(t.time_since_epoch());
+  std::array<char, 32> buf{};
+  std::snprintf(buf.data(), buf.size(), "%12.6fs", s);
+  return std::string(buf.data());
+}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::write(LogLevel level, std::string_view component,
+                   std::string_view message) {
+  static constexpr std::array<const char*, 5> kNames = {"TRACE", "DEBUG",
+                                                        "INFO ", "WARN ",
+                                                        "ERROR"};
+  const auto idx = static_cast<std::size_t>(level);
+  const char* name = idx < kNames.size() ? kNames[idx] : "?????";
+  std::string stamp = now_ ? format_time(*now_) : std::string("      --    ");
+  std::cout << "[" << stamp << "] " << name << " [" << component << "] "
+            << message << "\n";
+}
+
+}  // namespace seed::sim

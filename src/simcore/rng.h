@@ -1,0 +1,65 @@
+// Deterministic random number generation for experiments.
+//
+// xoshiro256** core with convenience distributions. Every experiment owns
+// its own Rng seeded explicitly so results are reproducible and benches
+// can print the seed they used.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace seed::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed_value = 0x5eed5eed5eed5eedULL);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform in [0, 1).
+  double uniform();
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Bernoulli trial.
+  bool chance(double p);
+
+  /// Exponential with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Normal via Box-Muller.
+  double normal(double mean, double stddev);
+
+  /// Log-normal parameterized by the *median* and sigma of the underlying
+  /// normal — convenient for latency distributions with long tails.
+  double lognormal_median(double median, double sigma);
+
+  /// Picks an index according to `weights` (need not be normalized).
+  std::size_t weighted_index(std::span<const double> weights);
+
+  /// Uniformly picks one element of a non-empty container.
+  template <typename Container>
+  const typename Container::value_type& pick(const Container& c) {
+    if (c.empty()) throw std::invalid_argument("Rng::pick: empty container");
+    return c[static_cast<std::size_t>(
+        uniform_int(0, static_cast<std::int64_t>(c.size()) - 1))];
+  }
+
+  /// Derives an independent child generator (for sub-experiments).
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+  bool have_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace seed::sim

@@ -1,0 +1,62 @@
+#include "simcore/simulator.h"
+
+#include <stdexcept>
+
+namespace seed::sim {
+
+TimerId Simulator::schedule_at(TimePoint t, Callback cb) {
+  if (t < now_) t = now_;
+  const TimerId id = next_id_++;
+  queue_.push(Entry{t, seq_++, id});
+  live_.insert(id);
+  callbacks_.emplace(id, std::move(cb));
+  return id;
+}
+
+bool Simulator::cancel(TimerId id) {
+  const auto it = live_.find(id);
+  if (it == live_.end()) return false;
+  live_.erase(it);
+  callbacks_.erase(id);
+  return true;
+}
+
+bool Simulator::pop_one() {
+  while (!queue_.empty()) {
+    Entry e = queue_.top();
+    queue_.pop();
+    const auto it = live_.find(e.id);
+    if (it == live_.end()) continue;  // cancelled tombstone
+    live_.erase(it);
+    auto cb_it = callbacks_.find(e.id);
+    Callback cb = std::move(cb_it->second);
+    callbacks_.erase(cb_it);
+    now_ = e.at;
+    ++processed_;
+    if (processed_ > budget_) {
+      throw std::runtime_error("Simulator: event budget exhausted");
+    }
+    cb();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run() {
+  stopped_ = false;
+  while (!stopped_ && pop_one()) {
+  }
+}
+
+void Simulator::run_until(TimePoint t) {
+  stopped_ = false;
+  while (!stopped_ && !queue_.empty()) {
+    // Peek past tombstones to find the next live event time.
+    while (!queue_.empty() && !live_.contains(queue_.top().id)) queue_.pop();
+    if (queue_.empty() || queue_.top().at > t) break;
+    pop_one();
+  }
+  if (now_ < t) now_ = t;
+}
+
+}  // namespace seed::sim

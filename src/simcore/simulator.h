@@ -1,0 +1,118 @@
+// Single-threaded discrete-event simulator.
+//
+// Events are closures ordered by (time, insertion sequence); ties execute
+// in FIFO order, which keeps every experiment deterministic for a fixed
+// RNG seed. Timers are cancellable via the TimerId returned at schedule
+// time; cancellation is O(1) (a tombstone set checked at pop).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "simcore/time.h"
+
+namespace seed::sim {
+
+using TimerId = std::uint64_t;
+inline constexpr TimerId kInvalidTimer = 0;
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  TimePoint now() const { return now_; }
+  /// Stable reference for the logger's timestamp source.
+  const TimePoint& now_ref() const { return now_; }
+
+  /// Schedules `cb` at absolute time `t` (clamped to now if in the past).
+  TimerId schedule_at(TimePoint t, Callback cb);
+
+  /// Schedules `cb` after `d` from now.
+  TimerId schedule_after(Duration d, Callback cb) {
+    return schedule_at(now_ + (d.count() > 0 ? d : Duration{0}), std::move(cb));
+  }
+
+  /// Cancels a pending timer. Returns false if already fired/cancelled.
+  bool cancel(TimerId id);
+
+  /// True if `id` is still pending.
+  bool pending(TimerId id) const { return live_.contains(id); }
+
+  /// Runs until the queue drains, `stop()` is called, or the event budget
+  /// (default: effectively unlimited) is exhausted.
+  void run();
+
+  /// Runs events with time <= t, then sets now to t.
+  void run_until(TimePoint t);
+
+  void run_for(Duration d) { run_until(now_ + d); }
+
+  /// Stops the run loop after the current event returns.
+  void stop() { stopped_ = true; }
+
+  std::size_t queued() const { return live_.size(); }
+  std::uint64_t events_processed() const { return processed_; }
+
+  /// Guard against runaway simulations; run() throws std::runtime_error
+  /// when exceeded.
+  void set_event_budget(std::uint64_t budget) { budget_ = budget; }
+
+ private:
+  struct Entry {
+    TimePoint at;
+    std::uint64_t seq;
+    TimerId id;
+    bool operator>(const Entry& o) const {
+      if (at != o.at) return at > o.at;
+      return seq > o.seq;
+    }
+  };
+
+  bool pop_one();  // executes the next live event; false if none
+
+  TimePoint now_ = kTimeZero;
+  std::uint64_t seq_ = 0;
+  TimerId next_id_ = 1;
+  bool stopped_ = false;
+  std::uint64_t processed_ = 0;
+  std::uint64_t budget_ = 500'000'000;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  std::unordered_set<TimerId> live_;
+  std::unordered_map<TimerId, Callback> callbacks_;
+};
+
+/// RAII one-shot timer bound to an owner's lifetime: cancels on destruction
+/// and on re-arm. Use for protocol timers (T3511, ...) owned by an FSM.
+class Timer {
+ public:
+  explicit Timer(Simulator& sim) : sim_(&sim) {}
+  ~Timer() { cancel(); }
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+
+  void arm(Duration d, Simulator::Callback cb) {
+    cancel();
+    id_ = sim_->schedule_after(d, std::move(cb));
+  }
+  void cancel() {
+    if (id_ != kInvalidTimer) {
+      sim_->cancel(id_);
+      id_ = kInvalidTimer;
+    }
+  }
+  bool armed() const { return id_ != kInvalidTimer && sim_->pending(id_); }
+
+ private:
+  Simulator* sim_;
+  TimerId id_ = kInvalidTimer;
+};
+
+}  // namespace seed::sim

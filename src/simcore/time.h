@@ -1,0 +1,37 @@
+// Simulated-time primitives. All simulation time is integral microseconds;
+// no wall-clock is ever consulted inside the simulator.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace seed::sim {
+
+using Duration = std::chrono::microseconds;
+using TimePoint = std::chrono::time_point<std::chrono::steady_clock, Duration>;
+
+constexpr Duration us(std::int64_t v) { return Duration(v); }
+constexpr Duration ms(std::int64_t v) { return Duration(v * 1000); }
+constexpr Duration seconds(std::int64_t v) { return Duration(v * 1'000'000); }
+constexpr Duration minutes(std::int64_t v) { return seconds(v * 60); }
+
+/// Fractional seconds, rounded to the nearest microsecond.
+constexpr Duration secs_f(double v) {
+  return Duration(static_cast<std::int64_t>(v * 1e6 + (v >= 0 ? 0.5 : -0.5)));
+}
+
+constexpr double to_seconds(Duration d) {
+  return static_cast<double>(d.count()) / 1e6;
+}
+
+constexpr double to_ms(Duration d) {
+  return static_cast<double>(d.count()) / 1e3;
+}
+
+constexpr TimePoint kTimeZero{Duration{0}};
+
+/// Formats a time point as "123.456789s" for logs.
+std::string format_time(TimePoint t);
+
+}  // namespace seed::sim

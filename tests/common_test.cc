@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/bytes.h"
+#include "common/codec.h"
+
+namespace seed {
+namespace {
+
+TEST(Bytes, HexRoundTrip) {
+  const Bytes data = {0x00, 0x01, 0x7f, 0x80, 0xff};
+  EXPECT_EQ(to_hex(data), "00017f80ff");
+  EXPECT_EQ(from_hex("00017f80ff"), data);
+  EXPECT_EQ(from_hex("00017F80FF"), data);
+}
+
+TEST(Bytes, HexEmpty) {
+  EXPECT_EQ(to_hex({}), "");
+  EXPECT_TRUE(from_hex("").empty());
+}
+
+TEST(Bytes, HexRejectsOddLength) {
+  EXPECT_THROW(from_hex("abc"), std::invalid_argument);
+}
+
+TEST(Bytes, HexRejectsNonHex) {
+  EXPECT_THROW(from_hex("zz"), std::invalid_argument);
+  EXPECT_THROW(from_hex("0g"), std::invalid_argument);
+}
+
+TEST(Bytes, CtEqual) {
+  EXPECT_TRUE(ct_equal(from_hex("a1b2"), from_hex("a1b2")));
+  EXPECT_FALSE(ct_equal(from_hex("a1b2"), from_hex("a1b3")));
+  EXPECT_FALSE(ct_equal(from_hex("a1"), from_hex("a1b3")));
+  EXPECT_TRUE(ct_equal({}, {}));
+}
+
+TEST(Bytes, XorBytes) {
+  EXPECT_EQ(xor_bytes(from_hex("ff00"), from_hex("0ff0")), from_hex("f0f0"));
+  EXPECT_THROW(xor_bytes(from_hex("ff"), from_hex("ffff")),
+               std::invalid_argument);
+}
+
+TEST(Bytes, StringConversion) {
+  EXPECT_EQ(to_string(to_bytes("DIAG")), "DIAG");
+  EXPECT_EQ(to_bytes("").size(), 0u);
+}
+
+TEST(Writer, IntegerWidths) {
+  Writer w;
+  w.u8(0xab);
+  w.u16(0x1234);
+  w.u24(0x56789a);
+  w.u32(0xdeadbeef);
+  w.u64(0x0102030405060708ULL);
+  EXPECT_EQ(to_hex(w.bytes()), "ab123456789adeadbeef0102030405060708");
+}
+
+TEST(Writer, LengthPrefixed) {
+  Writer w;
+  w.lv8(from_hex("aabb"));
+  w.lv16(from_hex("cc"));
+  w.tlv8(0x42, from_hex("dd"));
+  EXPECT_EQ(to_hex(w.bytes()), "02aabb0001cc4201dd");
+}
+
+TEST(Writer, Lv8RejectsOversize) {
+  Writer w;
+  Bytes big(256, 0);
+  EXPECT_THROW(w.lv8(big), std::length_error);
+}
+
+TEST(Writer, PatchU16) {
+  Writer w;
+  w.u16(0);
+  w.u8(0x99);
+  w.patch_u16(0, 0xbeef);
+  EXPECT_EQ(to_hex(w.bytes()), "beef99");
+  EXPECT_THROW(w.patch_u16(2, 1), std::out_of_range);
+}
+
+TEST(Reader, ReadsBackWhatWriterWrote) {
+  Writer w;
+  w.u8(7);
+  w.u16(300);
+  w.u32(70000);
+  w.u64(1ULL << 40);
+  w.lv8(from_hex("0102"));
+  Reader r(w.bytes());
+  EXPECT_EQ(r.u8(), 7);
+  EXPECT_EQ(r.u16(), 300);
+  EXPECT_EQ(r.u32(), 70000u);
+  EXPECT_EQ(r.u64(), 1ULL << 40);
+  EXPECT_EQ(r.lv8(), from_hex("0102"));
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Reader, FailsStickyOnTruncation) {
+  const Bytes short_buf = {0x01};
+  Reader r(short_buf);
+  EXPECT_EQ(r.u16(), 0);  // truncated
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.u8(), 0);  // still failed, returns zero
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Reader, Lv8TruncatedBody) {
+  const Bytes buf = {0x05, 0x01, 0x02};  // claims 5 bytes, has 2
+  Reader r(buf);
+  EXPECT_TRUE(r.lv8().empty());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Reader, SkipAndRest) {
+  const Bytes buf = {1, 2, 3, 4, 5};
+  Reader r(buf);
+  r.skip(2);
+  EXPECT_EQ(r.rest(), (Bytes{3, 4, 5}));
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Reader, ExplicitFail) {
+  const Bytes buf = {1};
+  Reader r(buf);
+  r.fail();
+  EXPECT_FALSE(r.ok());
+  EXPECT_FALSE(r.done());
+}
+
+TEST(Reader, EmptyBufferDoneImmediately) {
+  Reader r(BytesView{});
+  EXPECT_TRUE(r.done());
+  r.u8();
+  EXPECT_FALSE(r.ok());
+}
+
+// Property: any (write, read) pair of the same width round-trips.
+class CodecWidthTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CodecWidthTest, RoundTripAllWidths) {
+  const std::uint64_t v = GetParam();
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(v));
+  w.u16(static_cast<std::uint16_t>(v));
+  w.u24(static_cast<std::uint32_t>(v & 0xffffff));
+  w.u32(static_cast<std::uint32_t>(v));
+  w.u64(v);
+  Reader r(w.bytes());
+  EXPECT_EQ(r.u8(), static_cast<std::uint8_t>(v));
+  EXPECT_EQ(r.u16(), static_cast<std::uint16_t>(v));
+  EXPECT_EQ(r.u24(), static_cast<std::uint32_t>(v & 0xffffff));
+  EXPECT_EQ(r.u32(), static_cast<std::uint32_t>(v));
+  EXPECT_EQ(r.u64(), v);
+  EXPECT_TRUE(r.done());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Values, CodecWidthTest,
+    ::testing::Values(0ULL, 1ULL, 0x7fULL, 0x80ULL, 0xffULL, 0x100ULL,
+                      0xffffULL, 0x10000ULL, 0xffffffULL, 0x1000000ULL,
+                      0xffffffffULL, 0x100000000ULL,
+                      std::numeric_limits<std::uint64_t>::max()));
+
+}  // namespace
+}  // namespace seed

@@ -1,0 +1,313 @@
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "crypto/aes.h"
+#include "crypto/cmac.h"
+#include "crypto/ctr.h"
+#include "crypto/milenage.h"
+#include "crypto/security_context.h"
+
+namespace seed::crypto {
+namespace {
+
+Key128 key_from_hex(std::string_view h) { return to_key(from_hex(h)); }
+Block block_from_hex(std::string_view h) { return to_block(from_hex(h)); }
+
+std::string block_hex(const Block& b) {
+  return to_hex(Bytes(b.begin(), b.end()));
+}
+
+// ---------------------------------------------------------------- AES-128
+
+TEST(Aes128, Fips197Vector) {
+  // FIPS-197 Appendix C.1.
+  const Aes128 aes(key_from_hex("000102030405060708090a0b0c0d0e0f"));
+  const Block out = aes.encrypt(block_from_hex("00112233445566778899aabbccddeeff"));
+  EXPECT_EQ(block_hex(out), "69c4e0d86a7b0430d8cdb78070b4c55a");
+}
+
+struct EcbVector {
+  const char* plaintext;
+  const char* ciphertext;
+};
+
+// NIST SP 800-38A F.1.1 (AES-128 ECB), key 2b7e1516...
+class AesEcbTest : public ::testing::TestWithParam<EcbVector> {};
+
+TEST_P(AesEcbTest, Sp80038aEcb) {
+  const Aes128 aes(key_from_hex("2b7e151628aed2a6abf7158809cf4f3c"));
+  const Block out = aes.encrypt(block_from_hex(GetParam().plaintext));
+  EXPECT_EQ(block_hex(out), GetParam().ciphertext);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Blocks, AesEcbTest,
+    ::testing::Values(
+        EcbVector{"6bc1bee22e409f96e93d7e117393172a",
+                  "3ad77bb40d7a3660a89ecaf32466ef97"},
+        EcbVector{"ae2d8a571e03ac9c9eb76fac45af8e51",
+                  "f5d3d58503b9699de785895a96fdbaaf"},
+        EcbVector{"30c81c46a35ce411e5fbc1191a0a52ef",
+                  "43b1cd7f598ece23881b00e3ed030688"},
+        EcbVector{"f69f2445df4f9b17ad2b417be66c3710",
+                  "7b0c785e27e8ad3f8223207104725dd4"}));
+
+TEST(Aes128, EncryptInPlaceMatchesCopy) {
+  const Aes128 aes(key_from_hex("00000000000000000000000000000000"));
+  Block b = block_from_hex("80000000000000000000000000000000");
+  const Block copy = aes.encrypt(b);
+  aes.encrypt_block(b);
+  EXPECT_EQ(b, copy);
+}
+
+TEST(Aes128, ToBlockValidatesLength) {
+  EXPECT_THROW(to_block(from_hex("0011")), std::invalid_argument);
+  EXPECT_THROW(to_key(from_hex("001122")), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- AES-CMAC
+
+TEST(Cmac, Rfc4493EmptyMessage) {
+  const Key128 k = key_from_hex("2b7e151628aed2a6abf7158809cf4f3c");
+  const Block tag = aes_cmac(k, {});
+  EXPECT_EQ(block_hex(tag), "bb1d6929e95937287fa37d129b756746");
+}
+
+TEST(Cmac, Rfc4493SixteenBytes) {
+  const Key128 k = key_from_hex("2b7e151628aed2a6abf7158809cf4f3c");
+  const Bytes m = from_hex("6bc1bee22e409f96e93d7e117393172a");
+  EXPECT_EQ(block_hex(aes_cmac(k, m)), "070a16b46b4d4144f79bdd9dd04a287c");
+}
+
+TEST(Cmac, Rfc4493FortyBytes) {
+  const Key128 k = key_from_hex("2b7e151628aed2a6abf7158809cf4f3c");
+  const Bytes m = from_hex(
+      "6bc1bee22e409f96e93d7e117393172a"
+      "ae2d8a571e03ac9c9eb76fac45af8e51"
+      "30c81c46a35ce411");
+  EXPECT_EQ(block_hex(aes_cmac(k, m)), "dfa66747de9ae63030ca32611497c827");
+}
+
+TEST(Cmac, Rfc4493SixtyFourBytes) {
+  const Key128 k = key_from_hex("2b7e151628aed2a6abf7158809cf4f3c");
+  const Bytes m = from_hex(
+      "6bc1bee22e409f96e93d7e117393172a"
+      "ae2d8a571e03ac9c9eb76fac45af8e51"
+      "30c81c46a35ce411e5fbc1191a0a52ef"
+      "f69f2445df4f9b17ad2b417be66c3710");
+  EXPECT_EQ(block_hex(aes_cmac(k, m)), "51f0bebf7e3b9d92fc49741779363cfe");
+}
+
+TEST(Cmac, DifferentMessagesDifferentTags) {
+  const Key128 k = key_from_hex("000102030405060708090a0b0c0d0e0f");
+  EXPECT_NE(aes_cmac(k, from_hex("00")), aes_cmac(k, from_hex("01")));
+  EXPECT_NE(aes_cmac(k, from_hex("00")), aes_cmac(k, from_hex("0000")));
+}
+
+TEST(Eia2, MacDependsOnAllInputs) {
+  const Key128 k = key_from_hex("000102030405060708090a0b0c0d0e0f");
+  const Bytes m = from_hex("deadbeef");
+  const std::uint32_t base = eia2_mac(k, 1, 2, 0, m);
+  EXPECT_NE(base, eia2_mac(k, 2, 2, 0, m));   // count
+  EXPECT_NE(base, eia2_mac(k, 1, 3, 0, m));   // bearer
+  EXPECT_NE(base, eia2_mac(k, 1, 2, 1, m));   // direction
+  EXPECT_NE(base, eia2_mac(k, 1, 2, 0, from_hex("deadbeee")));  // payload
+}
+
+// ---------------------------------------------------------------- AES-CTR
+
+TEST(Ctr, Sp80038aCtrFirstBlock) {
+  // NIST SP 800-38A F.5.1.
+  const Key128 k = key_from_hex("2b7e151628aed2a6abf7158809cf4f3c");
+  const Block iv = block_from_hex("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff");
+  const Bytes pt = from_hex("6bc1bee22e409f96e93d7e117393172a");
+  EXPECT_EQ(to_hex(aes_ctr(k, iv, pt)), "874d6191b620e3261bef6864990db6ce");
+}
+
+TEST(Ctr, Sp80038aCtrFourBlocks) {
+  const Key128 k = key_from_hex("2b7e151628aed2a6abf7158809cf4f3c");
+  const Block iv = block_from_hex("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff");
+  const Bytes pt = from_hex(
+      "6bc1bee22e409f96e93d7e117393172a"
+      "ae2d8a571e03ac9c9eb76fac45af8e51"
+      "30c81c46a35ce411e5fbc1191a0a52ef"
+      "f69f2445df4f9b17ad2b417be66c3710");
+  EXPECT_EQ(to_hex(aes_ctr(k, iv, pt)),
+            "874d6191b620e3261bef6864990db6ce"
+            "9806f66b7970fdff8617187bb9fffdff"
+            "5ae4df3edbd5d35e5b4f09020db03eab"
+            "1e031dda2fbe03d1792170a0f3009cee");
+}
+
+TEST(Ctr, RoundTrip) {
+  const Key128 k = key_from_hex("00112233445566778899aabbccddeeff");
+  const Bytes pt = to_bytes("SEED failure report: DNS down at 10.0.0.5");
+  const Bytes ct = eea2_crypt(k, 77, 3, 1, pt);
+  EXPECT_NE(ct, pt);
+  EXPECT_EQ(eea2_crypt(k, 77, 3, 1, ct), pt);
+}
+
+TEST(Ctr, PartialBlockLengths) {
+  const Key128 k = key_from_hex("00112233445566778899aabbccddeeff");
+  for (std::size_t len : {0u, 1u, 15u, 16u, 17u, 31u, 33u, 100u}) {
+    Bytes pt(len, 0xa5);
+    const Bytes ct = eea2_crypt(k, 5, 1, 0, pt);
+    EXPECT_EQ(ct.size(), len);
+    EXPECT_EQ(eea2_crypt(k, 5, 1, 0, ct), pt);
+  }
+}
+
+TEST(Ctr, CountChangesKeystream) {
+  const Key128 k = key_from_hex("00112233445566778899aabbccddeeff");
+  const Bytes pt(32, 0);
+  EXPECT_NE(eea2_crypt(k, 1, 0, 0, pt), eea2_crypt(k, 2, 0, 0, pt));
+}
+
+// ---------------------------------------------------------------- Milenage
+
+TEST(Milenage, Ts35207TestSet1) {
+  // 3GPP TS 35.207 §4 test set 1.
+  const Key128 k = key_from_hex("465b5ce8b199b49faa5f0a2ee238a6bc");
+  const Block rand = block_from_hex("23553cbe9637a89d218ae64dae47bf35");
+  const Key128 op = key_from_hex("cdc202d5123e20f62b6d676ac72cb318");
+  const std::array<std::uint8_t, 6> sqn = {0xff, 0x9b, 0xb4, 0xd0, 0xb6, 0x07};
+  const std::array<std::uint8_t, 2> amf = {0xb9, 0xb9};
+
+  const Milenage m(k, op);
+  EXPECT_EQ(to_hex(Bytes(m.opc().begin(), m.opc().end())),
+            "cd63cb71954a9f4e48a5994e37a02baf");
+
+  const MilenageOutput out = m.compute(rand, sqn, amf);
+  EXPECT_EQ(to_hex(Bytes(out.mac_a.begin(), out.mac_a.end())),
+            "4a9ffac354dfafb3");
+  EXPECT_EQ(to_hex(Bytes(out.mac_s.begin(), out.mac_s.end())),
+            "01cfaf9ec4e871e9");
+  EXPECT_EQ(to_hex(Bytes(out.res.begin(), out.res.end())), "a54211d5e3ba50bf");
+  EXPECT_EQ(block_hex(out.ck), "b40ba9a3c58b2a05bbf0d987b21bf8cb");
+  EXPECT_EQ(block_hex(out.ik), "f769bcd751044604127672711c6d3441");
+  EXPECT_EQ(to_hex(Bytes(out.ak.begin(), out.ak.end())), "aa689c648370");
+  EXPECT_EQ(to_hex(Bytes(out.ak_s.begin(), out.ak_s.end())), "451e8beca43b");
+}
+
+TEST(Milenage, FromOpcMatchesDerived) {
+  const Key128 k = key_from_hex("465b5ce8b199b49faa5f0a2ee238a6bc");
+  const Key128 op = key_from_hex("cdc202d5123e20f62b6d676ac72cb318");
+  const Milenage a(k, op);
+  const Milenage b = Milenage::from_opc(k, a.opc());
+  const Block rand = block_from_hex("23553cbe9637a89d218ae64dae47bf35");
+  const std::array<std::uint8_t, 6> sqn{};
+  const std::array<std::uint8_t, 2> amf{};
+  EXPECT_EQ(a.compute(rand, sqn, amf).res, b.compute(rand, sqn, amf).res);
+}
+
+TEST(Milenage, AutnStructure) {
+  const Key128 k = key_from_hex("465b5ce8b199b49faa5f0a2ee238a6bc");
+  const Key128 op = key_from_hex("cdc202d5123e20f62b6d676ac72cb318");
+  const Milenage m(k, op);
+  const Block rand = block_from_hex("23553cbe9637a89d218ae64dae47bf35");
+  const std::array<std::uint8_t, 6> sqn = {0xff, 0x9b, 0xb4, 0xd0, 0xb6, 0x07};
+  const std::array<std::uint8_t, 2> amf = {0xb9, 0xb9};
+  const auto out = m.compute(rand, sqn, amf);
+  const Block autn = m.build_autn(out, sqn, amf);
+  // SQN xor AK recovers SQN with the same AK.
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(static_cast<std::uint8_t>(autn[i] ^ out.ak[i]), sqn[i]);
+  }
+  EXPECT_EQ(autn[6], 0xb9);
+  EXPECT_EQ(autn[7], 0xb9);
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(autn[8 + i], out.mac_a[i]);
+}
+
+// ------------------------------------------------------- SecurityContext
+
+TEST(SecurityContext, ProtectUnprotectRoundTrip) {
+  const Key128 k = key_from_hex("0123456789abcdef0123456789abcdef");
+  SecurityContext tx(k, 7);
+  SecurityContext rx(k, 7);
+  const Bytes msg = to_bytes("cause=27 config=DNN:internet.new");
+  const Bytes frame = tx.protect(msg, Direction::kDownlink);
+  EXPECT_GE(frame.size(), msg.size() + SecurityContext::kOverhead);
+  const auto got = rx.unprotect(frame, Direction::kDownlink);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, msg);
+}
+
+TEST(SecurityContext, RejectsTamperedPayload) {
+  const Key128 k = key_from_hex("0123456789abcdef0123456789abcdef");
+  SecurityContext tx(k, 7);
+  SecurityContext rx(k, 7);
+  Bytes frame = tx.protect(to_bytes("hello"), Direction::kUplink);
+  frame[5] ^= 0x01;
+  EXPECT_FALSE(rx.unprotect(frame, Direction::kUplink).has_value());
+}
+
+TEST(SecurityContext, RejectsReplay) {
+  const Key128 k = key_from_hex("0123456789abcdef0123456789abcdef");
+  SecurityContext tx(k, 7);
+  SecurityContext rx(k, 7);
+  const Bytes frame = tx.protect(to_bytes("once"), Direction::kUplink);
+  EXPECT_TRUE(rx.unprotect(frame, Direction::kUplink).has_value());
+  EXPECT_FALSE(rx.unprotect(frame, Direction::kUplink).has_value());
+}
+
+TEST(SecurityContext, RejectsWrongKey) {
+  SecurityContext tx(key_from_hex("0123456789abcdef0123456789abcdef"), 7);
+  SecurityContext rx(key_from_hex("1123456789abcdef0123456789abcdef"), 7);
+  const Bytes frame = tx.protect(to_bytes("secret"), Direction::kDownlink);
+  EXPECT_FALSE(rx.unprotect(frame, Direction::kDownlink).has_value());
+}
+
+TEST(SecurityContext, RejectsTruncatedFrame) {
+  const Key128 k = key_from_hex("0123456789abcdef0123456789abcdef");
+  SecurityContext rx(k, 7);
+  EXPECT_FALSE(rx.unprotect(from_hex("0011"), Direction::kUplink).has_value());
+}
+
+TEST(SecurityContext, DirectionsHaveIndependentCounters) {
+  const Key128 k = key_from_hex("0123456789abcdef0123456789abcdef");
+  SecurityContext a(k, 7);
+  SecurityContext b(k, 7);
+  // a sends downlink, b sends uplink; both receive fine in both orders.
+  const Bytes f1 = a.protect(to_bytes("dl-0"), Direction::kDownlink);
+  const Bytes f2 = b.protect(to_bytes("ul-0"), Direction::kUplink);
+  EXPECT_TRUE(b.unprotect(f1, Direction::kDownlink).has_value());
+  EXPECT_TRUE(a.unprotect(f2, Direction::kUplink).has_value());
+  EXPECT_EQ(a.tx_count(Direction::kDownlink), 1u);
+  EXPECT_EQ(b.tx_count(Direction::kUplink), 1u);
+}
+
+TEST(SecurityContext, CounterAdvancesAcrossMessages) {
+  const Key128 k = key_from_hex("0123456789abcdef0123456789abcdef");
+  SecurityContext tx(k, 7);
+  SecurityContext rx(k, 7);
+  for (int i = 0; i < 20; ++i) {
+    const Bytes frame =
+        tx.protect(to_bytes("m" + std::to_string(i)), Direction::kUplink);
+    const auto got = rx.unprotect(frame, Direction::kUplink);
+    ASSERT_TRUE(got.has_value()) << "message " << i;
+  }
+  EXPECT_EQ(tx.tx_count(Direction::kUplink), 20u);
+}
+
+TEST(SecurityContext, OutOfOrderOlderFrameRejected) {
+  const Key128 k = key_from_hex("0123456789abcdef0123456789abcdef");
+  SecurityContext tx(k, 7);
+  SecurityContext rx(k, 7);
+  const Bytes f0 = tx.protect(to_bytes("first"), Direction::kDownlink);
+  const Bytes f1 = tx.protect(to_bytes("second"), Direction::kDownlink);
+  EXPECT_TRUE(rx.unprotect(f1, Direction::kDownlink).has_value());
+  EXPECT_FALSE(rx.unprotect(f0, Direction::kDownlink).has_value());
+}
+
+TEST(SecurityContext, EmptyPlaintext) {
+  const Key128 k = key_from_hex("0123456789abcdef0123456789abcdef");
+  SecurityContext tx(k, 7);
+  SecurityContext rx(k, 7);
+  const Bytes frame = tx.protect({}, Direction::kUplink);
+  const auto got = rx.unprotect(frame, Direction::kUplink);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_TRUE(got->empty());
+}
+
+}  // namespace
+}  // namespace seed::crypto

@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "metrics/meters.h"
+#include "metrics/table.h"
+
+namespace seed::metrics {
+namespace {
+
+TEST(EnergyMeter, ChargesAccumulatePerOp) {
+  EnergyMeter m(1000.0);
+  m.charge("baseline", 100.0);
+  m.charge("baseline", 100.0);
+  m.charge("diag", 50.0);
+  EXPECT_DOUBLE_EQ(m.total_mj(), 250.0);
+  EXPECT_DOUBLE_EQ(m.by_op_mj("baseline"), 200.0);
+  EXPECT_DOUBLE_EQ(m.by_op_mj("diag"), 50.0);
+  EXPECT_DOUBLE_EQ(m.by_op_mj("missing"), 0.0);
+  EXPECT_DOUBLE_EQ(m.battery_fraction_used(), 0.25);
+}
+
+TEST(CpuMeter, UtilizationAgainstCoreBudget) {
+  CpuMeter m(8);
+  m.charge("proc", 4.0);  // 4 core-seconds
+  EXPECT_DOUBLE_EQ(m.utilization(1.0), 0.5);   // 4 of 8 core-s in 1 s
+  EXPECT_DOUBLE_EQ(m.utilization(2.0), 0.25);
+  EXPECT_DOUBLE_EQ(m.by_op_core_seconds("proc"), 4.0);
+  m.reset();
+  EXPECT_DOUBLE_EQ(m.busy_core_seconds(), 0.0);
+}
+
+TEST(Table, FormatsAlignedColumns) {
+  Table t({"A", "Long header"});
+  t.row({"x", "1"});
+  t.row({"longer cell", "2"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| A           | Long header |"), std::string::npos);
+  EXPECT_NE(out.find("| longer cell | 2           |"), std::string::npos);
+}
+
+TEST(Table, ShortRowsArePadded) {
+  Table t({"A", "B", "C"});
+  t.row({"only one"});
+  std::ostringstream os;
+  t.print(os);  // must not crash; missing cells render empty
+  EXPECT_NE(os.str().find("only one"), std::string::npos);
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(3.0, 0), "3");
+  EXPECT_EQ(Table::pct(0.1234, 1), "12.3%");
+  EXPECT_EQ(Table::pct(1.0, 0), "100%");
+}
+
+TEST(Banner, PrintsTitle) {
+  std::ostringstream os;
+  print_banner(os, "Table 9");
+  EXPECT_EQ(os.str(), "\n=== Table 9 ===\n");
+}
+
+}  // namespace
+}  // namespace seed::metrics

@@ -1,0 +1,399 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/params.h"
+#include "nas/causes.h"
+#include "seed/decision.h"
+#include "seed/infra_assist.h"
+#include "seed/online_learning.h"
+#include "simcore/rng.h"
+
+namespace seed::core {
+namespace {
+
+using proto::AssistKind;
+using proto::DiagInfo;
+using proto::ResetAction;
+
+DiagInfo standard(nas::Plane plane, std::uint8_t cause, bool with_config) {
+  DiagInfo d;
+  d.kind = with_config ? AssistKind::kCauseWithConfig
+                       : AssistKind::kStandardCause;
+  d.plane = plane;
+  d.cause = cause;
+  if (with_config) {
+    d.config = proto::ConfigPayload{nas::ConfigKind::kSuggestedDnn, {0x00}};
+  }
+  return d;
+}
+
+// ------------------------------------------------------------ classify
+
+TEST(Classify, StandardCausesMapToPlaneRows) {
+  EXPECT_EQ(classify(standard(nas::Plane::kControl, 9, false)),
+            DiagnosisClass::kControlPlaneCause);
+  EXPECT_EQ(classify(standard(nas::Plane::kControl, 27, true)),
+            DiagnosisClass::kControlPlaneCauseWithConfig);
+  EXPECT_EQ(classify(standard(nas::Plane::kData, 38, false)),
+            DiagnosisClass::kDataPlaneCause);
+  EXPECT_EQ(classify(standard(nas::Plane::kData, 33, true)),
+            DiagnosisClass::kDataPlaneCauseWithConfig);
+}
+
+TEST(Classify, UserActionCauses) {
+  EXPECT_EQ(classify(standard(nas::Plane::kControl, 3, false)),
+            DiagnosisClass::kUserActionRequired);
+  EXPECT_EQ(classify(standard(nas::Plane::kData, 29, false)),
+            DiagnosisClass::kUserActionRequired);
+  EXPECT_EQ(classify(standard(nas::Plane::kData, 8, false)),
+            DiagnosisClass::kUserActionRequired);
+}
+
+TEST(Classify, CongestionCauses) {
+  EXPECT_EQ(classify(standard(nas::Plane::kControl, 22, false)),
+            DiagnosisClass::kCongestion);
+  DiagInfo warn;
+  warn.kind = AssistKind::kCongestionWarning;
+  warn.congestion_wait_s = 30;
+  EXPECT_EQ(classify(warn), DiagnosisClass::kCongestion);
+}
+
+TEST(Classify, CustomKinds) {
+  DiagInfo suggested;
+  suggested.kind = AssistKind::kSuggestedAction;
+  suggested.suggested = ResetAction::kB3DPlaneReset;
+  EXPECT_EQ(classify(suggested), DiagnosisClass::kCustomWithSuggestedAction);
+
+  DiagInfo unknown;
+  unknown.kind = AssistKind::kCustomCauseNoAction;
+  EXPECT_EQ(classify(unknown), DiagnosisClass::kCustomUnknown);
+
+  DiagInfo hw;
+  hw.kind = AssistKind::kHardwareResetRequest;
+  hw.suggested = ResetAction::kB1ModemReset;
+  EXPECT_EQ(classify(hw), DiagnosisClass::kCustomWithSuggestedAction);
+}
+
+// -------------------------------------------------------- decide: Table 3
+
+TEST(Decide, Table3Row1ControlPlaneCause) {
+  const auto u = decide(standard(nas::Plane::kControl, 9, false),
+                        DeviceMode::kSeedU);
+  EXPECT_EQ(u.actions,
+            std::vector<ResetAction>{ResetAction::kA1ProfileReload});
+  EXPECT_EQ(u.wait, params::kSeedCplaneWait);
+  const auto r = decide(standard(nas::Plane::kControl, 9, false),
+                        DeviceMode::kSeedR);
+  EXPECT_EQ(r.actions, std::vector<ResetAction>{ResetAction::kB1ModemReset});
+  EXPECT_EQ(r.wait, params::kSeedCplaneWait);
+}
+
+TEST(Decide, Table3Row2ControlPlaneWithConfig) {
+  const auto u = decide(standard(nas::Plane::kControl, 27, true),
+                        DeviceMode::kSeedU);
+  EXPECT_EQ(u.actions,
+            (std::vector<ResetAction>{ResetAction::kA2CPlaneConfigUpdate,
+                                      ResetAction::kA1ProfileReload}));
+  const auto r = decide(standard(nas::Plane::kControl, 27, true),
+                        DeviceMode::kSeedR);
+  EXPECT_EQ(r.actions,
+            (std::vector<ResetAction>{ResetAction::kA2CPlaneConfigUpdate,
+                                      ResetAction::kB2CPlaneReattach}));
+}
+
+TEST(Decide, Table3Row3DataPlaneCause) {
+  const auto u = decide(standard(nas::Plane::kData, 38, false),
+                        DeviceMode::kSeedU);
+  EXPECT_EQ(u.actions,
+            std::vector<ResetAction>{ResetAction::kA1ProfileReload});
+  EXPECT_EQ(u.wait.count(), 0);  // no 2 s wait for data-plane resets
+  const auto r = decide(standard(nas::Plane::kData, 38, false),
+                        DeviceMode::kSeedR);
+  EXPECT_EQ(r.actions, std::vector<ResetAction>{ResetAction::kB3DPlaneReset});
+}
+
+TEST(Decide, Table3Row4DataPlaneWithConfig) {
+  const auto u = decide(standard(nas::Plane::kData, 33, true),
+                        DeviceMode::kSeedU);
+  EXPECT_EQ(u.actions,
+            std::vector<ResetAction>{ResetAction::kA3DPlaneConfigUpdate});
+  const auto r = decide(standard(nas::Plane::kData, 33, true),
+                        DeviceMode::kSeedR);
+  EXPECT_EQ(r.actions, std::vector<ResetAction>{ResetAction::kB3DPlaneReset});
+}
+
+TEST(Decide, Table3Row5DeliveryReport) {
+  proto::FailureReport rep;
+  rep.type = proto::FailureType::kTcp;
+  const auto u = decide_for_report(rep, DeviceMode::kSeedU);
+  EXPECT_EQ(u.actions,
+            std::vector<ResetAction>{ResetAction::kA3DPlaneConfigUpdate});
+  const auto r = decide_for_report(rep, DeviceMode::kSeedR);
+  EXPECT_EQ(r.actions, std::vector<ResetAction>{ResetAction::kB3DPlaneReset});
+}
+
+TEST(Decide, UserActionNotifiesInsteadOfResetting) {
+  const auto plan = decide(standard(nas::Plane::kData, 29, false),
+                           DeviceMode::kSeedR);
+  EXPECT_TRUE(plan.notify_user);
+  EXPECT_TRUE(plan.actions.empty());
+}
+
+TEST(Decide, CongestionWaitsForEmbeddedTimer) {
+  DiagInfo warn;
+  warn.kind = AssistKind::kCongestionWarning;
+  warn.congestion_wait_s = 45;
+  const auto plan = decide(warn, DeviceMode::kSeedU);
+  EXPECT_EQ(plan.wait, sim::seconds(45));
+  EXPECT_TRUE(plan.actions.empty());  // no reset: back off (§5.2)
+}
+
+TEST(Decide, SuggestedActionDowngradesWithoutRoot) {
+  DiagInfo d;
+  d.kind = AssistKind::kSuggestedAction;
+  d.suggested = ResetAction::kB2CPlaneReattach;
+  EXPECT_EQ(decide(d, DeviceMode::kSeedU).actions,
+            std::vector<ResetAction>{ResetAction::kA1ProfileReload});
+  EXPECT_EQ(decide(d, DeviceMode::kSeedR).actions,
+            std::vector<ResetAction>{ResetAction::kB2CPlaneReattach});
+  d.suggested = ResetAction::kB3DPlaneReset;
+  EXPECT_EQ(decide(d, DeviceMode::kSeedU).actions,
+            std::vector<ResetAction>{ResetAction::kA1ProfileReload});
+  d.suggested = ResetAction::kA3DPlaneConfigUpdate;
+  EXPECT_EQ(decide(d, DeviceMode::kSeedU).actions,
+            std::vector<ResetAction>{ResetAction::kA3DPlaneConfigUpdate});
+}
+
+TEST(Decide, LearningTrialOrderMatchesAlgorithm1) {
+  // Algorithm 1 line 2: data plane first, hardware last.
+  EXPECT_EQ(learning_trial_order(DeviceMode::kSeedR),
+            (std::vector<ResetAction>{
+                ResetAction::kB3DPlaneReset, ResetAction::kA3DPlaneConfigUpdate,
+                ResetAction::kB2CPlaneReattach,
+                ResetAction::kA2CPlaneConfigUpdate, ResetAction::kB1ModemReset,
+                ResetAction::kA1ProfileReload}));
+  EXPECT_EQ(learning_trial_order(DeviceMode::kSeedU),
+            (std::vector<ResetAction>{ResetAction::kA3DPlaneConfigUpdate,
+                                      ResetAction::kA2CPlaneConfigUpdate,
+                                      ResetAction::kA1ProfileReload}));
+}
+
+// Property: every registered standardized cause yields a plan that either
+// acts, waits, or notifies — never a silent no-op.
+class AllCausesDecideTest
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(AllCausesDecideTest, EveryCauseGetsAPlan) {
+  const auto [plane_idx, mode_idx] = GetParam();
+  const nas::Plane plane =
+      plane_idx == 0 ? nas::Plane::kControl : nas::Plane::kData;
+  const DeviceMode mode =
+      mode_idx == 0 ? DeviceMode::kSeedU : DeviceMode::kSeedR;
+  const auto table =
+      plane == nas::Plane::kControl ? nas::all_mm_causes()
+                                    : nas::all_sm_causes();
+  for (const auto& info : table) {
+    const bool has_config = info.config != nas::ConfigKind::kNone;
+    const auto plan = decide(standard(plane, info.code, has_config), mode);
+    const bool meaningful = !plan.actions.empty() || plan.notify_user ||
+                            plan.wait.count() > 0;
+    EXPECT_TRUE(meaningful) << "cause " << int(info.code) << " " << info.name;
+    if (info.user_action_required) {
+      EXPECT_TRUE(plan.notify_user) << info.name;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PlanesAndModes, AllCausesDecideTest,
+                         ::testing::Values(std::make_pair(0, 0),
+                                           std::make_pair(0, 1),
+                                           std::make_pair(1, 0),
+                                           std::make_pair(1, 1)));
+
+// --------------------------------------------------------- online learning
+
+TEST(OnlineLearning, SimRecordAccumulatesAndSnapshots) {
+  SimRecordStore store;
+  EXPECT_TRUE(store.record_success(0xC1, ResetAction::kB2CPlaneReattach));
+  EXPECT_TRUE(store.record_success(0xC1, ResetAction::kB2CPlaneReattach));
+  EXPECT_TRUE(store.record_success(0xC2, ResetAction::kB3DPlaneReset));
+  const auto snap = store.snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].cause, 0xC1);
+  EXPECT_EQ(snap[0].count, 2u);
+  store.clear();
+  EXPECT_TRUE(store.empty());
+}
+
+TEST(OnlineLearning, SimRecordRespectsStorageBudget) {
+  SimRecordStore store(/*max_entries=*/4);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(store.record_success(static_cast<CustomCause>(i),
+                                     ResetAction::kB3DPlaneReset));
+  }
+  // Fifth distinct entry is dropped (SIM storage cap)...
+  EXPECT_FALSE(store.record_success(99, ResetAction::kB3DPlaneReset));
+  // ...but counting an existing entry still works.
+  EXPECT_TRUE(store.record_success(0, ResetAction::kB3DPlaneReset));
+  EXPECT_EQ(store.entry_count(), 4u);
+  EXPECT_LT(store.storage_bytes(), 256u);
+}
+
+TEST(OnlineLearning, NetRecordArgmax) {
+  NetRecord net(0.1);
+  net.absorb_one(0xC1, ResetAction::kB2CPlaneReattach, 5);
+  net.absorb_one(0xC1, ResetAction::kB1ModemReset, 2);
+  EXPECT_EQ(net.best_action(0xC1), ResetAction::kB2CPlaneReattach);
+  EXPECT_EQ(net.record_count(0xC1), 7u);
+  EXPECT_FALSE(net.best_action(0xEE).has_value());
+}
+
+TEST(OnlineLearning, SigmoidGateMatchesAlgorithm1Line14) {
+  NetRecord net(0.5);
+  net.absorb_one(0xC1, ResetAction::kB3DPlaneReset, 2);
+  // p = 1 / (1 + e^{-0.5 * 2})
+  EXPECT_NEAR(net.suggestion_probability(0xC1),
+              1.0 / (1.0 + std::exp(-1.0)), 1e-12);
+  EXPECT_DOUBLE_EQ(net.suggestion_probability(0xEE), 0.0);
+}
+
+TEST(OnlineLearning, SuggestionFrequencyTracksGate) {
+  NetRecord net(0.05);
+  net.absorb_one(0xC1, ResetAction::kB3DPlaneReset, 10);
+  const double p = net.suggestion_probability(0xC1);
+  sim::Rng rng(77);
+  int suggested = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (net.suggest(0xC1, rng)) ++suggested;
+  }
+  EXPECT_NEAR(static_cast<double>(suggested) / n, p, 0.01);
+}
+
+TEST(OnlineLearning, UnknownCauseNeverSuggested) {
+  NetRecord net(0.9);
+  sim::Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(net.suggest(0x42, rng).has_value());
+  }
+}
+
+TEST(OnlineLearning, CrowdsourcingMergesFleets) {
+  NetRecord net(0.1);
+  SimRecordStore dev_a, dev_b;
+  dev_a.record_success(0xC1, ResetAction::kB2CPlaneReattach);
+  dev_b.record_success(0xC1, ResetAction::kB2CPlaneReattach);
+  dev_b.record_success(0xC1, ResetAction::kA1ProfileReload);
+  net.absorb(dev_a.snapshot());
+  net.absorb(dev_b.snapshot());
+  EXPECT_EQ(net.record_count(0xC1), 3u);
+  EXPECT_EQ(net.best_action(0xC1), ResetAction::kB2CPlaneReattach);
+}
+
+// --------------------------------------------------------- infra assist
+
+TEST(InfraAssist, TimeoutBranchRequestsHardwareReset) {
+  sim::Rng rng(1);
+  FailureEvent ev;
+  ev.network_initiated = false;
+  ev.device_responded = false;
+  const auto advice = classify_failure(ev, nullptr, rng);
+  ASSERT_TRUE(advice.diag.has_value());
+  EXPECT_EQ(advice.diag->kind, AssistKind::kHardwareResetRequest);
+  EXPECT_EQ(advice.diag->suggested, ResetAction::kB1ModemReset);
+}
+
+TEST(InfraAssist, SimReportedDeliveryTriggersDplaneReset) {
+  sim::Rng rng(1);
+  FailureEvent ev;
+  ev.network_initiated = false;
+  ev.sim_reported_delivery = true;
+  const auto advice = classify_failure(ev, nullptr, rng);
+  EXPECT_TRUE(advice.trigger_dplane_reset);
+  EXPECT_FALSE(advice.diag.has_value());
+}
+
+TEST(InfraAssist, SimReportedDeliveryUnderCongestionWarnsInstead) {
+  sim::Rng rng(1);
+  FailureEvent ev;
+  ev.network_initiated = false;
+  ev.sim_reported_delivery = true;
+  ev.congested = true;
+  ev.congestion_wait_s = 25;
+  const auto advice = classify_failure(ev, nullptr, rng);
+  EXPECT_FALSE(advice.trigger_dplane_reset);
+  ASSERT_TRUE(advice.diag.has_value());
+  EXPECT_EQ(advice.diag->kind, AssistKind::kCongestionWarning);
+  EXPECT_EQ(advice.diag->congestion_wait_s, 25);
+}
+
+TEST(InfraAssist, DeviceRejectForwardsCause) {
+  sim::Rng rng(1);
+  FailureEvent ev;
+  ev.network_initiated = false;
+  ev.device_responded = true;
+  ev.plane = nas::Plane::kControl;
+  ev.standardized_cause = 21;
+  const auto advice = classify_failure(ev, nullptr, rng);
+  ASSERT_TRUE(advice.diag.has_value());
+  EXPECT_EQ(advice.diag->kind, AssistKind::kStandardCause);
+  EXPECT_EQ(advice.diag->cause, 21);
+}
+
+TEST(InfraAssist, ActiveRejectWithConfigBranch) {
+  sim::Rng rng(1);
+  FailureEvent ev;
+  ev.plane = nas::Plane::kData;
+  ev.standardized_cause = 27;  // config-related per Appendix A
+  ev.config = proto::ConfigPayload{nas::ConfigKind::kSuggestedDnn, {1, 2}};
+  const auto advice = classify_failure(ev, nullptr, rng);
+  ASSERT_TRUE(advice.diag.has_value());
+  EXPECT_EQ(advice.diag->kind, AssistKind::kCauseWithConfig);
+  ASSERT_TRUE(advice.diag->config.has_value());
+}
+
+TEST(InfraAssist, ActiveRejectConfigCauseWithoutConfigFallsBack) {
+  sim::Rng rng(1);
+  FailureEvent ev;
+  ev.plane = nas::Plane::kData;
+  ev.standardized_cause = 27;
+  const auto advice = classify_failure(ev, nullptr, rng);
+  ASSERT_TRUE(advice.diag.has_value());
+  EXPECT_EQ(advice.diag->kind, AssistKind::kStandardCause);
+}
+
+TEST(InfraAssist, CustomWithOperatorAction) {
+  sim::Rng rng(1);
+  FailureEvent ev;
+  ev.standardized_cause = 0;
+  ev.custom_cause = 0xC5;
+  ev.custom_action = ResetAction::kB2CPlaneReattach;
+  const auto advice = classify_failure(ev, nullptr, rng);
+  ASSERT_TRUE(advice.diag.has_value());
+  EXPECT_EQ(advice.diag->kind, AssistKind::kSuggestedAction);
+  EXPECT_EQ(advice.diag->suggested, ResetAction::kB2CPlaneReattach);
+}
+
+TEST(InfraAssist, CustomUnknownConsultsLearnerThenFallsBack) {
+  sim::Rng rng(1);
+  NetRecord learner(5.0);  // steep gate: suggest ~always once taught
+  FailureEvent ev;
+  ev.standardized_cause = 0;
+  ev.custom_cause = 0xC6;
+
+  // Untrained learner: SIM must run the trial sequence.
+  auto advice = classify_failure(ev, &learner, rng);
+  ASSERT_TRUE(advice.diag.has_value());
+  EXPECT_EQ(advice.diag->kind, AssistKind::kCustomCauseNoAction);
+
+  // Trained learner: the suggestion flows to the SIM.
+  learner.absorb_one(0xC6, ResetAction::kB3DPlaneReset, 50);
+  advice = classify_failure(ev, &learner, rng);
+  ASSERT_TRUE(advice.diag.has_value());
+  EXPECT_EQ(advice.diag->kind, AssistKind::kSuggestedAction);
+  EXPECT_EQ(advice.diag->suggested, ResetAction::kB3DPlaneReset);
+}
+
+}  // namespace
+}  // namespace seed::core

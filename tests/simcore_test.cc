@@ -1,0 +1,293 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "metrics/stats.h"
+#include "simcore/rng.h"
+#include "simcore/simulator.h"
+
+namespace seed::sim {
+namespace {
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_after(ms(30), [&] { order.push_back(3); });
+  sim.schedule_after(ms(10), [&] { order.push_back(1); });
+  sim.schedule_after(ms(20), [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now().time_since_epoch(), ms(30));
+}
+
+TEST(Simulator, FifoOnTies) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_after(ms(5), [&] { order.push_back(1); });
+  sim.schedule_after(ms(5), [&] { order.push_back(2); });
+  sim.schedule_after(ms(5), [&] { order.push_back(3); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  const TimerId id = sim.schedule_after(ms(10), [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));  // second cancel is a no-op
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    if (++count < 5) sim.schedule_after(seconds(1), tick);
+  };
+  sim.schedule_after(seconds(1), tick);
+  sim.run();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(sim.now().time_since_epoch(), seconds(5));
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_after(seconds(1), [&] { ++count; });
+  sim.schedule_after(seconds(3), [&] { ++count; });
+  sim.run_until(kTimeZero + seconds(2));
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(sim.now().time_since_epoch(), seconds(2));
+  sim.run();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Simulator, RunForAdvancesEvenWithoutEvents) {
+  Simulator sim;
+  sim.run_for(seconds(7));
+  EXPECT_EQ(sim.now().time_since_epoch(), seconds(7));
+}
+
+TEST(Simulator, StopHaltsLoop) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_after(ms(1), [&] {
+    ++count;
+    sim.stop();
+  });
+  sim.schedule_after(ms(2), [&] { ++count; });
+  sim.run();
+  EXPECT_EQ(count, 1);
+  sim.run();  // resumes
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Simulator, PastSchedulingClampsToNow) {
+  Simulator sim;
+  sim.run_for(seconds(10));
+  bool fired = false;
+  sim.schedule_at(kTimeZero + seconds(1), [&] { fired = true; });
+  sim.run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(sim.now().time_since_epoch(), seconds(10));
+}
+
+TEST(Simulator, EventBudgetThrows) {
+  Simulator sim;
+  sim.set_event_budget(10);
+  std::function<void()> forever = [&] { sim.schedule_after(ms(1), forever); };
+  sim.schedule_after(ms(1), forever);
+  EXPECT_THROW(sim.run(), std::runtime_error);
+}
+
+TEST(Timer, RearmCancelsPrevious) {
+  Simulator sim;
+  Timer t(sim);
+  int hits = 0;
+  t.arm(ms(10), [&] { ++hits; });
+  t.arm(ms(20), [&] { hits += 10; });
+  sim.run();
+  EXPECT_EQ(hits, 10);
+}
+
+TEST(Timer, DestructionCancels) {
+  Simulator sim;
+  bool fired = false;
+  {
+    Timer t(sim);
+    t.arm(ms(10), [&] { fired = true; });
+  }
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Timer, ArmedReflectsState) {
+  Simulator sim;
+  Timer t(sim);
+  EXPECT_FALSE(t.armed());
+  t.arm(ms(5), [] {});
+  EXPECT_TRUE(t.armed());
+  sim.run();
+  EXPECT_FALSE(t.armed());
+}
+
+TEST(TimeHelpers, Conversions) {
+  EXPECT_EQ(seconds(2), ms(2000));
+  EXPECT_EQ(minutes(1), seconds(60));
+  EXPECT_DOUBLE_EQ(to_seconds(ms(1500)), 1.5);
+  EXPECT_DOUBLE_EQ(to_ms(us(2500)), 2.5);
+  EXPECT_EQ(secs_f(0.5), ms(500));
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntBoundsInclusive) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform_int(3, 8);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 8);
+    saw_lo |= (v == 3);
+    saw_hi |= (v == 8);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+  EXPECT_THROW(rng.uniform_int(5, 4), std::invalid_argument);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(3.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.05);
+  EXPECT_THROW(rng.exponential(0.0), std::invalid_argument);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(13);
+  metrics::Samples s;
+  for (int i = 0; i < 200000; ++i) s.add(rng.normal(5.0, 2.0));
+  EXPECT_NEAR(s.mean(), 5.0, 0.05);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, LognormalMedian) {
+  Rng rng(17);
+  metrics::Samples s;
+  for (int i = 0; i < 100000; ++i) s.add(rng.lognormal_median(4.0, 0.8));
+  EXPECT_NEAR(s.median(), 4.0, 0.15);
+}
+
+TEST(Rng, WeightedIndexDistribution) {
+  Rng rng(19);
+  const std::vector<double> w = {1.0, 3.0, 6.0};
+  std::vector<int> hits(3, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++hits[rng.weighted_index(w)];
+  EXPECT_NEAR(hits[0] / double(n), 0.1, 0.01);
+  EXPECT_NEAR(hits[1] / double(n), 0.3, 0.015);
+  EXPECT_NEAR(hits[2] / double(n), 0.6, 0.015);
+  EXPECT_THROW(rng.weighted_index(std::vector<double>{0, 0}),
+               std::invalid_argument);
+  EXPECT_THROW(rng.weighted_index(std::vector<double>{-1, 2}),
+               std::invalid_argument);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(23);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ForkIsIndependent) {
+  Rng a(31);
+  Rng child = a.fork();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == child.next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, PickThrowsOnEmpty) {
+  Rng rng(1);
+  std::vector<int> empty;
+  EXPECT_THROW(rng.pick(empty), std::invalid_argument);
+  const std::vector<int> one = {9};
+  EXPECT_EQ(rng.pick(one), 9);
+}
+
+TEST(Stats, Percentiles) {
+  metrics::Samples s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+  EXPECT_NEAR(s.median(), 50.5, 1e-9);
+  EXPECT_NEAR(s.percentile(90), 90.1, 1e-9);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+}
+
+TEST(Stats, EmptyThrows) {
+  metrics::Samples s;
+  EXPECT_THROW(s.mean(), std::logic_error);
+  EXPECT_THROW(s.percentile(50), std::logic_error);
+}
+
+TEST(Stats, CdfAt) {
+  metrics::Samples s;
+  for (int i = 1; i <= 10; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.cdf_at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.cdf_at(5.0), 0.5);
+  EXPECT_DOUBLE_EQ(s.cdf_at(10.0), 1.0);
+}
+
+TEST(Stats, CdfSeriesMonotone) {
+  metrics::Samples s;
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) s.add(rng.exponential(2.0));
+  const auto series = metrics::make_cdf(s, "test", 40);
+  ASSERT_EQ(series.x.size(), 40u);
+  for (std::size_t i = 1; i < series.y.size(); ++i) {
+    EXPECT_LE(series.y[i - 1], series.y[i]);
+  }
+  EXPECT_DOUBLE_EQ(series.y.back(), 1.0);
+}
+
+TEST(Stats, SingleSample) {
+  metrics::Samples s;
+  s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.median(), 42.0);
+  EXPECT_DOUBLE_EQ(s.percentile(99), 42.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+}  // namespace
+}  // namespace seed::sim
