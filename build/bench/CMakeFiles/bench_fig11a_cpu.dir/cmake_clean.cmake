@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11a_cpu.dir/bench_fig11a_cpu.cc.o"
+  "CMakeFiles/bench_fig11a_cpu.dir/bench_fig11a_cpu.cc.o.d"
+  "bench_fig11a_cpu"
+  "bench_fig11a_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11a_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

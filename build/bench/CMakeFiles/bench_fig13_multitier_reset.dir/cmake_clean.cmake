@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_multitier_reset.dir/bench_fig13_multitier_reset.cc.o"
+  "CMakeFiles/bench_fig13_multitier_reset.dir/bench_fig13_multitier_reset.cc.o.d"
+  "bench_fig13_multitier_reset"
+  "bench_fig13_multitier_reset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_multitier_reset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_disruption.dir/bench_table4_disruption.cc.o"
+  "CMakeFiles/bench_table4_disruption.dir/bench_table4_disruption.cc.o.d"
+  "bench_table4_disruption"
+  "bench_table4_disruption.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_disruption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

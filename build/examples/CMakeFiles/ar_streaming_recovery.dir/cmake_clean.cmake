@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ar_streaming_recovery.dir/ar_streaming_recovery.cpp.o"
+  "CMakeFiles/ar_streaming_recovery.dir/ar_streaming_recovery.cpp.o.d"
+  "ar_streaming_recovery"
+  "ar_streaming_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ar_streaming_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

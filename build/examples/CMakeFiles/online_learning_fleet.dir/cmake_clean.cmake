@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_learning_fleet.dir/online_learning_fleet.cpp.o"
+  "CMakeFiles/online_learning_fleet.dir/online_learning_fleet.cpp.o.d"
+  "online_learning_fleet"
+  "online_learning_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_learning_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

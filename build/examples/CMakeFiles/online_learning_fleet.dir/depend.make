@@ -1,0 +1,2 @@
+# Empty dependencies file for online_learning_fleet.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("simcore")
+subdirs("metrics")
+subdirs("crypto")
+subdirs("nas")
+subdirs("seedproto")
+subdirs("ran")
+subdirs("corenet")
+subdirs("modem")
+subdirs("simapplet")
+subdirs("android")
+subdirs("transport")
+subdirs("apps")
+subdirs("seed")
+subdirs("device")
+subdirs("testbed")
+subdirs("trace")

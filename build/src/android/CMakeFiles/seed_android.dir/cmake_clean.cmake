@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seed_android.dir/android_os.cc.o"
+  "CMakeFiles/seed_android.dir/android_os.cc.o.d"
+  "libseed_android.a"
+  "libseed_android.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seed_android.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

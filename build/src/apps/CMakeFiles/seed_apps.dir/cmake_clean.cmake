@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seed_apps.dir/app_model.cc.o"
+  "CMakeFiles/seed_apps.dir/app_model.cc.o.d"
+  "libseed_apps.a"
+  "libseed_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seed_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

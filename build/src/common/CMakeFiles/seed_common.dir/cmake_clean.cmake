@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seed_common.dir/bytes.cc.o"
+  "CMakeFiles/seed_common.dir/bytes.cc.o.d"
+  "CMakeFiles/seed_common.dir/codec.cc.o"
+  "CMakeFiles/seed_common.dir/codec.cc.o.d"
+  "libseed_common.a"
+  "libseed_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seed_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seed_corenet.dir/core_network.cc.o"
+  "CMakeFiles/seed_corenet.dir/core_network.cc.o.d"
+  "CMakeFiles/seed_corenet.dir/subscriber.cc.o"
+  "CMakeFiles/seed_corenet.dir/subscriber.cc.o.d"
+  "libseed_corenet.a"
+  "libseed_corenet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seed_corenet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/aes.cc" "src/crypto/CMakeFiles/seed_crypto.dir/aes.cc.o" "gcc" "src/crypto/CMakeFiles/seed_crypto.dir/aes.cc.o.d"
+  "/root/repo/src/crypto/cmac.cc" "src/crypto/CMakeFiles/seed_crypto.dir/cmac.cc.o" "gcc" "src/crypto/CMakeFiles/seed_crypto.dir/cmac.cc.o.d"
+  "/root/repo/src/crypto/ctr.cc" "src/crypto/CMakeFiles/seed_crypto.dir/ctr.cc.o" "gcc" "src/crypto/CMakeFiles/seed_crypto.dir/ctr.cc.o.d"
+  "/root/repo/src/crypto/milenage.cc" "src/crypto/CMakeFiles/seed_crypto.dir/milenage.cc.o" "gcc" "src/crypto/CMakeFiles/seed_crypto.dir/milenage.cc.o.d"
+  "/root/repo/src/crypto/security_context.cc" "src/crypto/CMakeFiles/seed_crypto.dir/security_context.cc.o" "gcc" "src/crypto/CMakeFiles/seed_crypto.dir/security_context.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/seed_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seed_crypto.dir/aes.cc.o"
+  "CMakeFiles/seed_crypto.dir/aes.cc.o.d"
+  "CMakeFiles/seed_crypto.dir/cmac.cc.o"
+  "CMakeFiles/seed_crypto.dir/cmac.cc.o.d"
+  "CMakeFiles/seed_crypto.dir/ctr.cc.o"
+  "CMakeFiles/seed_crypto.dir/ctr.cc.o.d"
+  "CMakeFiles/seed_crypto.dir/milenage.cc.o"
+  "CMakeFiles/seed_crypto.dir/milenage.cc.o.d"
+  "CMakeFiles/seed_crypto.dir/security_context.cc.o"
+  "CMakeFiles/seed_crypto.dir/security_context.cc.o.d"
+  "libseed_crypto.a"
+  "libseed_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seed_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

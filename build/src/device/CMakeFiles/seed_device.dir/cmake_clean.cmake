@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seed_device.dir/device.cc.o"
+  "CMakeFiles/seed_device.dir/device.cc.o.d"
+  "libseed_device.a"
+  "libseed_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seed_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

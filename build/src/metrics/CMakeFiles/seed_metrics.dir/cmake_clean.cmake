@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seed_metrics.dir/stats.cc.o"
+  "CMakeFiles/seed_metrics.dir/stats.cc.o.d"
+  "CMakeFiles/seed_metrics.dir/table.cc.o"
+  "CMakeFiles/seed_metrics.dir/table.cc.o.d"
+  "libseed_metrics.a"
+  "libseed_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seed_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/modem/modem.cc" "src/modem/CMakeFiles/seed_modem.dir/modem.cc.o" "gcc" "src/modem/CMakeFiles/seed_modem.dir/modem.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nas/CMakeFiles/seed_nas.dir/DependInfo.cmake"
+  "/root/repo/build/src/ran/CMakeFiles/seed_ran.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/seed_simcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/seed_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seed_modem.dir/modem.cc.o"
+  "CMakeFiles/seed_modem.dir/modem.cc.o.d"
+  "libseed_modem.a"
+  "libseed_modem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seed_modem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

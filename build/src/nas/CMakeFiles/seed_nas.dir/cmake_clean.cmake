@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seed_nas.dir/causes.cc.o"
+  "CMakeFiles/seed_nas.dir/causes.cc.o.d"
+  "CMakeFiles/seed_nas.dir/ie.cc.o"
+  "CMakeFiles/seed_nas.dir/ie.cc.o.d"
+  "CMakeFiles/seed_nas.dir/messages.cc.o"
+  "CMakeFiles/seed_nas.dir/messages.cc.o.d"
+  "libseed_nas.a"
+  "libseed_nas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seed_nas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seed_ran.dir/gnb.cc.o"
+  "CMakeFiles/seed_ran.dir/gnb.cc.o.d"
+  "libseed_ran.a"
+  "libseed_ran.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seed_ran.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

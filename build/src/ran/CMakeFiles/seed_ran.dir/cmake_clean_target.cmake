@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libseed_ran.a"
+)

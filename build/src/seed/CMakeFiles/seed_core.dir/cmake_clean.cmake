@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seed_core.dir/decision.cc.o"
+  "CMakeFiles/seed_core.dir/decision.cc.o.d"
+  "CMakeFiles/seed_core.dir/infra_assist.cc.o"
+  "CMakeFiles/seed_core.dir/infra_assist.cc.o.d"
+  "CMakeFiles/seed_core.dir/online_learning.cc.o"
+  "CMakeFiles/seed_core.dir/online_learning.cc.o.d"
+  "libseed_core.a"
+  "libseed_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seed_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/seedproto/diag_payload.cc" "src/seedproto/CMakeFiles/seed_seedproto.dir/diag_payload.cc.o" "gcc" "src/seedproto/CMakeFiles/seed_seedproto.dir/diag_payload.cc.o.d"
+  "/root/repo/src/seedproto/failure_report.cc" "src/seedproto/CMakeFiles/seed_seedproto.dir/failure_report.cc.o" "gcc" "src/seedproto/CMakeFiles/seed_seedproto.dir/failure_report.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/seed_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/nas/CMakeFiles/seed_nas.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/seed_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seed_seedproto.dir/diag_payload.cc.o"
+  "CMakeFiles/seed_seedproto.dir/diag_payload.cc.o.d"
+  "CMakeFiles/seed_seedproto.dir/failure_report.cc.o"
+  "CMakeFiles/seed_seedproto.dir/failure_report.cc.o.d"
+  "libseed_seedproto.a"
+  "libseed_seedproto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seed_seedproto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seed_simapplet.dir/applet.cc.o"
+  "CMakeFiles/seed_simapplet.dir/applet.cc.o.d"
+  "libseed_simapplet.a"
+  "libseed_simapplet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seed_simapplet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

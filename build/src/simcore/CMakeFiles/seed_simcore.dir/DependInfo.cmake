@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simcore/log.cc" "src/simcore/CMakeFiles/seed_simcore.dir/log.cc.o" "gcc" "src/simcore/CMakeFiles/seed_simcore.dir/log.cc.o.d"
+  "/root/repo/src/simcore/rng.cc" "src/simcore/CMakeFiles/seed_simcore.dir/rng.cc.o" "gcc" "src/simcore/CMakeFiles/seed_simcore.dir/rng.cc.o.d"
+  "/root/repo/src/simcore/simulator.cc" "src/simcore/CMakeFiles/seed_simcore.dir/simulator.cc.o" "gcc" "src/simcore/CMakeFiles/seed_simcore.dir/simulator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/seed_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seed_simcore.dir/log.cc.o"
+  "CMakeFiles/seed_simcore.dir/log.cc.o.d"
+  "CMakeFiles/seed_simcore.dir/rng.cc.o"
+  "CMakeFiles/seed_simcore.dir/rng.cc.o.d"
+  "CMakeFiles/seed_simcore.dir/simulator.cc.o"
+  "CMakeFiles/seed_simcore.dir/simulator.cc.o.d"
+  "libseed_simcore.a"
+  "libseed_simcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seed_simcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seed_testbed.dir/testbed.cc.o"
+  "CMakeFiles/seed_testbed.dir/testbed.cc.o.d"
+  "libseed_testbed.a"
+  "libseed_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seed_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seed_trace.dir/dataset.cc.o"
+  "CMakeFiles/seed_trace.dir/dataset.cc.o.d"
+  "libseed_trace.a"
+  "libseed_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seed_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transport/traffic.cc" "src/transport/CMakeFiles/seed_transport.dir/traffic.cc.o" "gcc" "src/transport/CMakeFiles/seed_transport.dir/traffic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/modem/CMakeFiles/seed_modem.dir/DependInfo.cmake"
+  "/root/repo/build/src/corenet/CMakeFiles/seed_corenet.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/seed_simcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/ran/CMakeFiles/seed_ran.dir/DependInfo.cmake"
+  "/root/repo/build/src/seed/CMakeFiles/seed_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/seedproto/CMakeFiles/seed_seedproto.dir/DependInfo.cmake"
+  "/root/repo/build/src/nas/CMakeFiles/seed_nas.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/seed_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/seed_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/seed_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

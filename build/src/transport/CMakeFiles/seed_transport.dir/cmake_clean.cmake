@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seed_transport.dir/traffic.cc.o"
+  "CMakeFiles/seed_transport.dir/traffic.cc.o.d"
+  "libseed_transport.a"
+  "libseed_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seed_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

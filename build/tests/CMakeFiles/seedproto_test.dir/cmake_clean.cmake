@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seedproto_test.dir/seedproto_test.cc.o"
+  "CMakeFiles/seedproto_test.dir/seedproto_test.cc.o.d"
+  "seedproto_test"
+  "seedproto_test.pdb"
+  "seedproto_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seedproto_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
