@@ -6,10 +6,18 @@
 //   d-plane:  legacy 21.4 s, SEED-U (A3) 0.88 s, SEED-R (B3) 0.42 s
 // Legacy numbers are the time Android's sequential retry takes to *reach*
 // each tier with the recommended 21/6/16 s intervals.
+//
+// SEED action timings are taken from the lifecycle tracer: each run's
+// duration is first ResetIssued -> last ResetCompleted in the event
+// stream. The inline measurement (simulated-time delta captured in the
+// completion callback) is kept as a cross-check; the two must agree to
+// within 1 us of simulated time.
+#include <cmath>
 #include <iostream>
 
 #include "metrics/stats.h"
 #include "metrics/table.h"
+#include "obs/trace.h"
 #include "testbed/testbed.h"
 
 namespace {
@@ -17,17 +25,56 @@ namespace {
 using namespace seed;
 using namespace seed::testbed;
 
+// Tolerance for tracer-vs-inline agreement: 1 us of simulated time.
+constexpr double kToleranceS = 1e-6;
+
+struct Agreement {
+  double max_delta_s = 0.0;
+  std::size_t checks = 0;
+  std::size_t missing_spans = 0;
+} g_agree;
+
 // Times one SEED action from trigger to completion on a healthy testbed.
+// Returns the tracer-derived duration; records the inline delta for the
+// agreement check.
 template <typename Trigger>
 double time_action(std::uint64_t seed, device::Scheme scheme,
                    Trigger&& trigger) {
   Testbed tb(seed, scheme);
   tb.bring_up();
+  auto& tracer = obs::Tracer::instance();
+  tracer.clear();
   const auto t0 = tb.simulator().now();
   bool done = false;
-  trigger(tb, [&done](bool) { done = true; });
+  sim::TimePoint t_done = t0;
+  trigger(tb, [&](bool) {
+    done = true;
+    // Capture the completion instant exactly; the run_for() loop below
+    // only advances on a 20 ms grid and would overshoot.
+    t_done = tb.simulator().now();
+  });
   while (!done) tb.simulator().run_for(sim::ms(20));
-  return sim::to_seconds(tb.simulator().now() - t0);
+  const double inline_s = sim::to_seconds(t_done - t0);
+
+  std::int64_t first_issue_us = -1;
+  std::int64_t last_complete_us = -1;
+  for (const obs::Event& e : tracer.events()) {
+    if (e.kind == obs::EventKind::kResetIssued && first_issue_us < 0) {
+      first_issue_us = e.at_us;
+    } else if (e.kind == obs::EventKind::kResetCompleted) {
+      last_complete_us = e.at_us;
+    }
+  }
+  if (first_issue_us < 0 || last_complete_us < 0) {
+    ++g_agree.missing_spans;
+    return inline_s;
+  }
+  const double traced_s =
+      static_cast<double>(last_complete_us - first_issue_us) / 1e6;
+  g_agree.max_delta_s =
+      std::max(g_agree.max_delta_s, std::fabs(traced_s - inline_s));
+  ++g_agree.checks;
+  return traced_s;
 }
 
 double avg_action(std::uint64_t seed, device::Scheme scheme,
@@ -88,6 +135,8 @@ int main() {
   constexpr std::uint64_t kSeed = 20220707;
   constexpr int kRuns = 15;
 
+  obs::Tracer::instance().enable(true);
+
   metrics::Samples l_tcp, l_rereg, l_modem;
   for (int i = 0; i < 5; ++i) {
     const LegacyTimes lt = measure_legacy(kSeed + 300 + i);
@@ -141,5 +190,19 @@ int main() {
          metrics::Table::num(a3.mean(), 2), metrics::Table::num(b3, 2),
          "21.4 / 0.88 / 0.42"});
   t.print(std::cout);
+
+  if (g_agree.missing_spans > 0) {
+    std::cout << "FAIL: " << g_agree.missing_spans
+              << " action runs produced no ResetIssued/ResetCompleted pair\n";
+    return 1;
+  }
+  std::cout << "tracer vs inline: " << g_agree.checks
+            << " action timings agree, max |delta| = " << g_agree.max_delta_s
+            << " s\n";
+  if (g_agree.max_delta_s > kToleranceS) {
+    std::cout << "FAIL: tracer/inline disagreement exceeds " << kToleranceS
+              << " s\n";
+    return 1;
+  }
   return 0;
 }

@@ -1,0 +1,84 @@
+// Replays a failure-lifecycle trace (JSONL, as written by
+// Tracer::export_jsonl or SEED_TRACE=<path> on the benches) into the
+// per-failure span summary table.
+//
+//   ./build/examples/trace_summary trace.jsonl     # from a file
+//   ./build/examples/trace_summary < trace.jsonl   # from stdin
+//   ./build/examples/trace_summary --demo          # generate one live
+//
+// --demo runs a SEED-U testbed through a control-plane and a data-plane
+// failure with the tracer on, exports the events through a JSONL
+// round-trip, and summarizes them — the full pipeline in one binary.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+#include "testbed/testbed.h"
+
+namespace {
+
+using namespace seed;
+
+std::vector<obs::Event> demo_events() {
+  using namespace seed::testbed;
+  auto& tracer = obs::Tracer::instance();
+  tracer.enable(true);
+
+  Testbed tb(/*seed=*/42, device::Scheme::kSeedU);
+  tb.secondary_congestion_prob = 0;
+  tb.bring_up();
+  (void)tb.run_cp_failure(CpFailure::kIdentityDesync, sim::minutes(5));
+  (void)tb.run_dp_failure(DpFailure::kOutdatedDnn, sim::minutes(5));
+
+  // Round-trip through JSONL so --demo exercises the same path as
+  // replaying a file.
+  std::stringstream buf;
+  tracer.export_jsonl(buf);
+  return obs::Tracer::import_jsonl(buf);
+}
+
+void print_totals(std::ostream& os, const std::vector<obs::Event>& events) {
+  std::size_t counts[static_cast<int>(obs::EventKind::kLog) + 1] = {};
+  for (const obs::Event& e : events) ++counts[static_cast<int>(e.kind)];
+  os << "event totals:";
+  for (int k = 0; k <= static_cast<int>(obs::EventKind::kLog); ++k) {
+    if (counts[k] == 0) continue;
+    os << ' ' << obs::event_kind_name(static_cast<obs::EventKind>(k)) << '='
+       << counts[k];
+  }
+  os << '\n';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<obs::Event> events;
+  if (argc > 1 && std::string(argv[1]) == "--demo") {
+    events = demo_events();
+  } else if (argc > 1) {
+    std::ifstream in(argv[1]);
+    if (!in) {
+      std::cerr << "trace_summary: cannot open " << argv[1] << '\n';
+      return 1;
+    }
+    events = obs::Tracer::import_jsonl(in);
+  } else {
+    events = obs::Tracer::import_jsonl(std::cin);
+  }
+
+  if (events.empty()) {
+    std::cerr << "trace_summary: no events (usage: trace_summary "
+                 "[trace.jsonl | --demo])\n";
+    return 1;
+  }
+
+  print_totals(std::cout, events);
+  const std::vector<obs::SpanSummary> spans =
+      obs::Tracer::assemble(std::move(events));
+  std::cout << "parsed " << spans.size() << " failure span(s)\n";
+  obs::Tracer::print_summary(std::cout, spans);
+  return 0;
+}

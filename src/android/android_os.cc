@@ -1,6 +1,7 @@
 #include "android/android_os.h"
 
 #include "common/params.h"
+#include "simcore/log.h"
 
 namespace seed::android {
 
@@ -61,6 +62,7 @@ void AndroidOs::on_stall() {
   stall_active_ = true;
   ++stats_.stalls_detected;
   last_stall_ = sim_.now();
+  SLOG(kDebug, "android") << "data stall detected";
   if (stall_handler_) stall_handler_();
   if (retry_enabled_) run_retry_step(0);
 }
@@ -88,15 +90,18 @@ void AndroidOs::run_retry_step(int step) {
         // Clean up and restart all TCP connections. Transport-level only:
         // cellular-stack failures are untouched (§3.3).
         ++stats_.retries_tcp_restart;
+        SLOG(kDebug, "android") << "escalation step 1: restart TCP";
         run_retry_step(1);
         break;
       case 1:
         ++stats_.retries_reregister;
+        SLOG(kDebug, "android") << "escalation step 2: re-register";
         modem_.trigger_reattach();
         run_retry_step(2);
         break;
       case 2:
         ++stats_.retries_modem_restart;
+        SLOG(kDebug, "android") << "escalation step 3: modem restart";
         modem_.at_modem_reset([this](bool) {
           if (!traffic_.path_healthy()) {
             // Start over (Android loops the escalation).

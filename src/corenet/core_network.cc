@@ -2,6 +2,8 @@
 
 #include "common/codec.h"
 #include "common/params.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "simcore/log.h"
 
 namespace seed::corenet {
@@ -571,6 +573,9 @@ void CoreNetwork::send_diag_fragments() {
     if (!pending_frags_.empty()) {
       // Final fragment just got ACKed: transfer complete (Fig. 12 trans).
       diag_trans_ms_.push_back(sim::to_ms(sim_.now() - diag_send_start_));
+      SLOG(kDebug, "core") << "assistance downlink delivered";
+      obs::emit_collab_downlink(diag_prep_ms_.back(), diag_trans_ms_.back());
+      obs::count("seed.collab.downlink");
     }
     pending_frags_.clear();
     next_frag_ = 0;
@@ -589,6 +594,9 @@ void CoreNetwork::send_diag_fragments() {
 
 void CoreNetwork::handle_diag_report(const proto::FailureReport& report,
                                      const nas::SmHeader& hdr) {
+  SLOG(kDebug, "core") << "uplink diagnosis report received (type "
+                       << int(static_cast<std::uint8_t>(report.type)) << ")";
+  obs::count("seed.reports_rx");
   Subscriber* sub = current_sub();
   // ACK the report with a reject (Fig. 7b).
   nas::PduSessionEstablishmentReject ack;

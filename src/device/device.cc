@@ -1,6 +1,9 @@
 #include "device/device.h"
 
 #include "common/params.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
+#include "simcore/log.h"
 
 namespace seed::device {
 
@@ -41,9 +44,15 @@ Device::Device(sim::Simulator& sim, sim::Rng& rng, ran::Gnb& gnb,
       [core = &core](const std::vector<core::SimRecordStore::Entry>& e) {
         core->upload_sim_records(e);
       });
-  applet_->set_user_notifier([this](std::string) { ++user_notifications_; });
+  applet_->set_user_notifier([this](std::string cause) {
+    ++user_notifications_;
+    SLOG(kDebug, "device") << "user notified: " << cause;
+    obs::count("seed.user_notifications");
+  });
 
   modem_->set_data_state_handler([this](bool up) {
+    SLOG(kDebug, "device") << "data connectivity "
+                           << (up ? "restored" : "lost");
     if (up) applet_->notify_recovered();
   });
 
@@ -54,7 +63,12 @@ Device::Device(sim::Simulator& sim, sim::Rng& rng, ran::Gnb& gnb,
     // SEED replaces the level-by-level retry; Android's detector still
     // feeds the carrier app -> applet (the OS report path of Fig. 4).
     android_->set_sequential_retry_enabled(false);
-    android_->set_stall_handler([this] { carrier_->on_data_stall(); });
+    android_->set_stall_handler([this] {
+      // OS-level detection (captive-portal / TCP / DNS heuristics): the
+      // data-plane failure becomes visible to the SEED report path here.
+      obs::emit_failure_detected(obs::Origin::kOs, 1, 0);
+      carrier_->on_data_stall();
+    });
   }
 }
 

@@ -27,7 +27,9 @@ class EnergyMeter {
   }
 
   double total_mj() const { return total_mj_; }
-  double battery_fraction_used() const { return total_mj_ / capacity_mj_; }
+  double battery_fraction_used() const {
+    return capacity_mj_ > 0 ? total_mj_ / capacity_mj_ : 0.0;
+  }
   double by_op_mj(const std::string& op) const {
     const auto it = by_op_.find(op);
     return it == by_op_.end() ? 0.0 : it->second;
@@ -51,7 +53,10 @@ class CpuMeter {
   }
 
   /// Average utilization over `wall_seconds` of simulated time, in [0, 1+].
+  /// A non-positive interval (or core count) yields 0 rather than dividing
+  /// by zero.
   double utilization(double wall_seconds) const {
+    if (wall_seconds <= 0 || cores_ <= 0) return 0.0;
     return busy_s_ / (static_cast<double>(cores_) * wall_seconds);
   }
 

@@ -7,7 +7,7 @@
 namespace seed::metrics {
 
 void Samples::ensure_sorted() const {
-  if (!sorted_valid_ || sorted_.size() != values_.size()) {
+  if (!sorted_valid_) {
     sorted_ = values_;
     std::sort(sorted_.begin(), sorted_.end());
     sorted_valid_ = true;

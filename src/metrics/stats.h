@@ -11,9 +11,13 @@ namespace seed::metrics {
 /// Accumulates double samples and answers percentile/mean queries.
 class Samples {
  public:
-  void add(double v) { values_.push_back(v); }
+  void add(double v) {
+    values_.push_back(v);
+    sorted_valid_ = false;
+  }
   void add_all(const std::vector<double>& vs) {
     values_.insert(values_.end(), vs.begin(), vs.end());
+    sorted_valid_ = false;
   }
 
   std::size_t count() const { return values_.size(); }
@@ -32,7 +36,11 @@ class Samples {
   double cdf_at(double x) const;
 
   const std::vector<double>& values() const { return values_; }
-  void clear() { values_.clear(); }
+  void clear() {
+    values_.clear();
+    sorted_.clear();
+    sorted_valid_ = false;
+  }
 
  private:
   void ensure_sorted() const;

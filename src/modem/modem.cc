@@ -1,6 +1,10 @@
 #include "modem/modem.h"
 
+#include <array>
+
 #include "common/params.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "simcore/log.h"
 
 namespace seed::modem {
@@ -10,6 +14,25 @@ using nas::SmCause;
 
 namespace {
 std::uint8_t mm_code(MmCause c) { return static_cast<std::uint8_t>(c); }
+
+// Counts a reset action and, when tracing is on, wraps its completion so
+// the tracer sees the issue/complete pair. With the tracer off the
+// original callback is returned untouched — no std::function rebuild on
+// the hot path.
+ModemControl::Done trace_reset(std::uint8_t action, ModemControl::Done done) {
+  static constexpr std::array<std::string_view, 7> kCounters = {
+      "",              "seed.reset.a1", "seed.reset.a2", "seed.reset.a3",
+      "seed.reset.b1", "seed.reset.b2", "seed.reset.b3"};
+  if (action < kCounters.size() && !kCounters[action].empty()) {
+    obs::count(kCounters[action]);
+  }
+  if (!obs::enabled()) return done;
+  obs::emit_reset_issued(action);
+  return [action, done = std::move(done)](bool ok) {
+    obs::emit_reset_completed(action, ok);
+    if (done) done(ok);
+  };
+}
 }  // namespace
 
 Modem::Modem(sim::Simulator& sim, sim::Rng& rng, SimCard& sim_card,
@@ -182,6 +205,9 @@ void Modem::handle_registration_reject(const nas::RegistrationReject& m) {
   if (mm_ != MmState::kRegistering) return;
   mm_ = MmState::kIdle;
   ++stats_.registrations_rejected;
+  SLOG(kDebug, "modem") << "registration reject, cause #" << int(m.cause);
+  obs::emit_failure_detected(obs::Origin::kModem, 0, m.cause);
+  obs::count("seed.reject.cplane");
   if (on_reject_) on_reject_(nas::Plane::kControl, m.cause);
   registration_settled(false);  // waiters fail fast; auto-retry continues
   if (!behavior_.auto_retry) return;
@@ -240,6 +266,7 @@ void Modem::handle_registration_accept(const nas::RegistrationAccept& m) {
   have_guti_ = true;
   guti_ = m.guti;
   reg_attempts_ = 0;
+  SLOG(kDebug, "modem") << "registered (control plane recovered)";
   registration_settled(true);
   // Restore the default data session after any successful (re-)attach,
   // whether the registration came from a waiter or a background retry.
@@ -352,6 +379,8 @@ void Modem::handle_pdu_accept(const nas::PduSessionEstablishmentAccept& m) {
     dns_addr_ = m.dns_addr;
   }
   if (psi == kDataPsi) ++session_generation_;
+  SLOG(kDebug, "modem") << "pdu session " << int(psi)
+                        << " active (data plane up)";
   auto done = std::move(it->second.done);
   it->second.done = nullptr;
   notify_data_state();
@@ -370,6 +399,10 @@ void Modem::handle_pdu_reject(const nas::PduSessionEstablishmentReject& m) {
   auto it = sessions_.find(psi);
   if (it == sessions_.end()) return;
   ++stats_.pdu_rejected;
+  SLOG(kDebug, "modem") << "pdu reject on psi " << int(psi) << ", cause #"
+                        << int(m.cause);
+  obs::emit_failure_detected(obs::Origin::kModem, 1, m.cause);
+  obs::count("seed.reject.dplane");
   if (on_reject_) on_reject_(nas::Plane::kData, m.cause);
 
   if (psi != kDataPsi || !behavior_.auto_retry) {
@@ -483,6 +516,8 @@ void Modem::on_downlink(BytesView wire) {
 
 void Modem::refresh_profile(Done done) {
   ++stats_.profile_reloads;
+  SLOG(kDebug, "modem") << "reset A1: SIM REFRESH, full re-attach";
+  done = trace_reset(1, std::move(done));
   sim_.schedule_after(params::kProfileReloadTime, [this, done] {
     const SimProfile& p = sim_card_.profile();
     plmn_ = p.preferred_plmn;
@@ -508,6 +543,14 @@ void Modem::refresh_profile(Done done) {
 }
 
 void Modem::update_cplane_config(const nas::PlmnId& plmn) {
+  SLOG(kDebug, "modem") << "reset A2: c-plane config update";
+  obs::count("seed.reset.a2");
+  if (obs::enabled()) {
+    // Synchronous config write: the issue/complete pair collapses to one
+    // instant.
+    obs::emit_reset_issued(2);
+    obs::emit_reset_completed(2, true);
+  }
   plmn_ = plmn;
 }
 
@@ -517,6 +560,8 @@ void Modem::update_slice(const nas::SNssai& snssai) {
 
 void Modem::update_dplane_config(const std::string& dnn,
                                  std::optional<nas::Ipv4> dns, Done done) {
+  SLOG(kDebug, "modem") << "reset A3: d-plane config update via carrier app";
+  done = trace_reset(3, std::move(done));
   sim_.schedule_after(params::kCarrierConfigUpdateTime, [this, dnn, dns,
                                                          done] {
     if (!dnn.empty()) dnn_ = dnn;
@@ -554,6 +599,8 @@ void Modem::update_dplane_config(const std::string& dnn,
 
 void Modem::at_modem_reset(Done done) {
   ++stats_.at_commands;
+  SLOG(kDebug, "modem") << "reset B1: AT+CFUN modem reset";
+  done = trace_reset(4, std::move(done));
   mm_ = MmState::kIdle;
   sessions_.clear();
   have_guti_ = false;
@@ -582,6 +629,8 @@ void Modem::at_modem_reset(Done done) {
 
 void Modem::at_reattach(Done done) {
   ++stats_.at_commands;
+  SLOG(kDebug, "modem") << "reset B2: AT+CGATT detach/attach";
+  done = trace_reset(5, std::move(done));
   mm_ = MmState::kIdle;
   sessions_.clear();
   have_guti_ = false;
@@ -626,6 +675,8 @@ void Modem::send_diag_report(const std::vector<nas::Dnn>& dnns, Done done) {
 
 void Modem::at_dplane_modify(const std::string& dnn, Done done) {
   ++stats_.at_commands;
+  SLOG(kDebug, "modem") << "reset B3: AT+CGDCONT d-plane modification";
+  done = trace_reset(6, std::move(done));
   // AT+CGDCONT + context re-activation processing under root.
   if (!dnn.empty()) dnn_ = dnn;
   sim_.schedule_after(sim::ms(350), [this, done] {
@@ -647,6 +698,8 @@ void Modem::at_dplane_modify(const std::string& dnn, Done done) {
 
 void Modem::fast_dplane_reset(Done done) {
   ++stats_.at_commands;
+  SLOG(kDebug, "modem") << "reset B3: fast d-plane reset (DIAG swap)";
+  done = trace_reset(6, std::move(done));
   // Fig. 6: DIAG session up -> DATA released -> DATA re-established ->
   // DIAG released. The gNB keeps >= 1 bearer throughout, so no reattach.
   sim_.schedule_after(params::kFastDplaneResetOverhead, [this, done] {

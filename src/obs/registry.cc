@@ -1,0 +1,137 @@
+#include "obs/registry.h"
+
+#include <array>
+#include <cstdio>
+#include <ostream>
+
+#include "simcore/simulator.h"
+
+namespace seed::obs {
+namespace {
+
+std::string sanitize(std::string_view name) {
+  std::string out(name);
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+std::string fmt(double v) {
+  std::array<char, 48> buf{};
+  std::snprintf(buf.data(), buf.size(), "%.9g", v);
+  return std::string(buf.data());
+}
+
+}  // namespace
+
+Registry& Registry::instance() {
+  static Registry registry;
+  return registry;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), Counter{}).first;
+  }
+  return it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), Gauge{}).first;
+  }
+  return it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), Histogram{}).first;
+  }
+  return it->second;
+}
+
+void Registry::dump_prometheus(std::ostream& os) const {
+  for (const auto& [name, c] : counters_) {
+    const std::string n = sanitize(name);
+    os << "# TYPE " << n << " counter\n" << n << " " << c.value() << "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    const std::string n = sanitize(name);
+    os << "# TYPE " << n << " gauge\n" << n << " " << fmt(g.value()) << "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    const std::string n = sanitize(name);
+    const metrics::Samples& s = h.samples();
+    os << "# TYPE " << n << " summary\n";
+    if (!s.empty()) {
+      os << n << "{quantile=\"0.5\"} " << fmt(s.percentile(50)) << "\n"
+         << n << "{quantile=\"0.9\"} " << fmt(s.percentile(90)) << "\n"
+         << n << "{quantile=\"0.99\"} " << fmt(s.percentile(99)) << "\n";
+    }
+    double sum = 0;
+    for (double v : s.values()) sum += v;
+    os << n << "_sum " << fmt(sum) << "\n"
+       << n << "_count " << s.count() << "\n";
+  }
+}
+
+void Registry::dump_json(std::ostream& os) const {
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << name << "\":" << c.value();
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << name << "\":" << fmt(g.value());
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) os << ",";
+    first = false;
+    const metrics::Samples& s = h.samples();
+    os << "\"" << name << "\":{\"count\":" << s.count();
+    if (!s.empty()) {
+      os << ",\"min\":" << fmt(s.min()) << ",\"p50\":" << fmt(s.percentile(50))
+         << ",\"p90\":" << fmt(s.percentile(90))
+         << ",\"p99\":" << fmt(s.percentile(99))
+         << ",\"max\":" << fmt(s.max()) << ",\"mean\":" << fmt(s.mean());
+    }
+    os << "}";
+  }
+  os << "}}\n";
+}
+
+void Registry::clear() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+void observe_simulator(sim::Simulator& sim, std::uint64_t every_n) {
+  sim.set_probe(
+      [](std::size_t queued, std::uint64_t processed) {
+        Registry& r = Registry::instance();
+        if (!r.enabled()) return;
+        r.gauge("seed.sim.queue_depth").set(static_cast<double>(queued));
+        r.gauge("seed.sim.events_processed")
+            .set(static_cast<double>(processed));
+        r.histogram("seed.sim.queue_depth_hist")
+            .observe(static_cast<double>(queued));
+      },
+      every_n);
+}
+
+}  // namespace seed::obs

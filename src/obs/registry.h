@@ -1,0 +1,108 @@
+// Named-metrics registry (the SEED observability layer, half two).
+//
+// Counters, gauges, and histograms keyed by dotted names
+// ("seed.reset.b1", "seed.recovery_ms"), dumpable as Prometheus text
+// exposition or JSON. Histograms are backed by metrics::Samples so they
+// answer the same percentile queries the benches already use.
+//
+// Like the tracer, the registry is a process-wide singleton and OFF by
+// default; instrument sites gate on `Registry::instance().enabled()`
+// (or use the metric handle they cached) so the disabled path costs one
+// branch.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "metrics/stats.h"
+
+namespace seed::sim {
+class Simulator;
+}  // namespace seed::sim
+
+namespace seed::obs {
+
+class Counter {
+ public:
+  void inc(std::uint64_t by = 1) { value_ += by; }
+  std::uint64_t value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+class Histogram {
+ public:
+  void observe(double v) { samples_.add(v); }
+  const metrics::Samples& samples() const { return samples_; }
+  void reset() { samples_.clear(); }
+
+ private:
+  metrics::Samples samples_;
+};
+
+class Registry {
+ public:
+  static Registry& instance();
+
+  bool enabled() const { return enabled_; }
+  void enable(bool on) { enabled_ = on; }
+
+  /// Handles are stable for the registry's lifetime; callers may cache
+  /// them. Lookup creates the metric on first use.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Prometheus text exposition: dots in names become underscores;
+  /// histograms are emitted as summaries (p50/p90/p99 quantiles, _sum,
+  /// _count).
+  void dump_prometheus(std::ostream& os) const;
+  void dump_json(std::ostream& os) const;
+
+  /// Drops every metric (names and values).
+  void clear();
+
+ private:
+  Registry() = default;
+  bool enabled_ = false;
+  // std::map: deterministic dump order, and node stability keeps cached
+  // metric handles valid across later insertions.
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+// ----- gated convenience helpers (one branch when disabled)
+
+inline void count(std::string_view name, std::uint64_t by = 1) {
+  Registry& r = Registry::instance();
+  if (!r.enabled()) return;
+  r.counter(name).inc(by);
+}
+
+inline void observe(std::string_view name, double v) {
+  Registry& r = Registry::instance();
+  if (!r.enabled()) return;
+  r.histogram(name).observe(v);
+}
+
+/// Installs a Simulator probe exporting event-loop gauges
+/// (`seed.sim.queue_depth`, `seed.sim.events_processed`) and a queue-depth
+/// histogram, sampled every `every_n` processed events.
+void observe_simulator(sim::Simulator& sim, std::uint64_t every_n = 2048);
+
+}  // namespace seed::obs

@@ -1,0 +1,357 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <istream>
+#include <map>
+#include <ostream>
+
+#include "simcore/log.h"
+
+namespace seed::obs {
+namespace {
+
+constexpr std::array<std::string_view, 11> kKindNames = {
+    "failure_injected", "failure_detected",   "diagnosis_made",
+    "reset_issued",     "reset_completed",    "recovered",
+    "collab_downlink",  "collab_uplink",      "conflict_suppressed",
+    "rate_limited",     "log",
+};
+
+constexpr std::array<std::string_view, 6> kOriginNames = {
+    "none", "sim", "infra", "os", "modem", "testbed",
+};
+
+// Minimal JSON string escaping for the detail field (the rest of the
+// record is numeric or from fixed name tables).
+void write_escaped(std::ostream& os, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          std::array<char, 8> buf{};
+          std::snprintf(buf.data(), buf.size(), "\\u%04x", c);
+          os << buf.data();
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+// Tolerant field extractors for import: find `"key":` and parse what
+// follows. Good enough for round-tripping our own export and for
+// hand-edited traces; not a general JSON parser.
+std::optional<std::string_view> raw_value(std::string_view line,
+                                          std::string_view key) {
+  std::string needle = "\"";
+  needle.append(key);
+  needle.append("\":");
+  const auto pos = line.find(needle);
+  if (pos == std::string_view::npos) return std::nullopt;
+  return line.substr(pos + needle.size());
+}
+
+std::optional<double> num_field(std::string_view line, std::string_view key) {
+  const auto rest = raw_value(line, key);
+  if (!rest) return std::nullopt;
+  return std::strtod(std::string(rest->substr(0, 32)).c_str(), nullptr);
+}
+
+std::optional<std::string> str_field(std::string_view line,
+                                     std::string_view key) {
+  auto rest = raw_value(line, key);
+  if (!rest || rest->empty() || rest->front() != '"') return std::nullopt;
+  std::string out;
+  for (std::size_t i = 1; i < rest->size(); ++i) {
+    char c = (*rest)[i];
+    if (c == '"') return out;
+    if (c == '\\' && i + 1 < rest->size()) {
+      char n = (*rest)[++i];
+      switch (n) {
+        case 'n': out.push_back('\n'); break;
+        case 't': out.push_back('\t'); break;
+        case 'r': out.push_back('\r'); break;
+        default: out.push_back(n);
+      }
+    } else {
+      out.push_back(c);
+    }
+  }
+  return std::nullopt;  // unterminated string
+}
+
+}  // namespace
+
+std::string_view event_kind_name(EventKind k) {
+  const auto i = static_cast<std::size_t>(k);
+  return i < kKindNames.size() ? kKindNames[i] : "unknown";
+}
+
+std::optional<EventKind> event_kind_from(std::string_view name) {
+  for (std::size_t i = 0; i < kKindNames.size(); ++i) {
+    if (kKindNames[i] == name) return static_cast<EventKind>(i);
+  }
+  return std::nullopt;
+}
+
+std::string_view origin_name(Origin o) {
+  const auto i = static_cast<std::size_t>(o);
+  return i < kOriginNames.size() ? kOriginNames[i] : "unknown";
+}
+
+std::optional<Origin> origin_from(std::string_view name) {
+  for (std::size_t i = 0; i < kOriginNames.size(); ++i) {
+    if (kOriginNames[i] == name) return static_cast<Origin>(i);
+  }
+  return std::nullopt;
+}
+
+std::string_view action_code_name(std::uint8_t action) {
+  static constexpr std::array<std::string_view, 7> kNames = {
+      "-", "A1", "A2", "A3", "B1", "B2", "B3"};
+  return action < kNames.size() ? kNames[action] : "?";
+}
+
+std::uint8_t tier_of_action(std::uint8_t action) {
+  switch (action) {
+    case 1: case 4: return 1;  // A1/B1: hardware (profile / full modem)
+    case 2: case 5: return 2;  // A2/B2: control plane
+    case 3: case 6: return 3;  // A3/B3: data plane
+    default: return 0;
+  }
+}
+
+std::string_view tier_name(std::uint8_t tier) {
+  switch (tier) {
+    case 1: return "hardware";
+    case 2: return "cplane";
+    case 3: return "dplane";
+    default: return "-";
+  }
+}
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::enable(bool on) {
+  if (on == enabled_) return;
+  enabled_ = on;
+  auto& logger = sim::Logger::instance();
+  if (on) {
+    // Bridge SLOG into the trace stream: lines still print through the
+    // stock writer, and land as kLog events with the same clock.
+    logger.set_sink([](sim::LogLevel level, std::string_view component,
+                       std::string_view message, const sim::TimePoint*) {
+      sim::Logger::instance().write_default(level, component, message);
+      Tracer& t = Tracer::instance();
+      if (!t.enabled()) return;
+      Event e;
+      e.kind = EventKind::kLog;
+      e.detail.reserve(component.size() + 2 + message.size());
+      e.detail.append(component);
+      e.detail.append(": ");
+      e.detail.append(message);
+      t.record_now(std::move(e));
+    });
+  } else {
+    logger.set_sink(nullptr);
+  }
+}
+
+void Tracer::set_clock(const sim::TimePoint* now) {
+  now_ = now;
+  // One timestamp source for logs and trace events.
+  sim::Logger::instance().set_clock(now);
+}
+
+SpanId Tracer::begin_span() {
+  active_span_ = next_span_++;
+  return active_span_;
+}
+
+void Tracer::record_now(Event e) {
+  if (!enabled_) return;
+  if (e.kind == EventKind::kFailureInjected) begin_span();
+  if (e.span == 0) e.span = active_span_;
+  e.at_us = now_ ? now_->time_since_epoch().count() : 0;
+  if (e.action != 0 && e.tier == 0) e.tier = tier_of_action(e.action);
+  events_.push_back(std::move(e));
+}
+
+std::size_t Tracer::event_count(EventKind k) const {
+  return static_cast<std::size_t>(
+      std::count_if(events_.begin(), events_.end(),
+                    [k](const Event& e) { return e.kind == k; }));
+}
+
+void Tracer::clear() {
+  // Span ids stay monotonic across clear() so that exports taken before
+  // and after a clear can be concatenated and still assemble correctly.
+  events_.clear();
+  active_span_ = 0;
+}
+
+void Tracer::export_jsonl(std::ostream& os) const {
+  for (const Event& e : events_) {
+    os << "{\"span\":" << e.span << ",\"kind\":\"" << event_kind_name(e.kind)
+       << "\",\"at_us\":" << e.at_us << ",\"origin\":\""
+       << origin_name(e.origin) << "\",\"plane\":" << int(e.plane)
+       << ",\"cause\":" << int(e.cause) << ",\"action\":" << int(e.action)
+       << ",\"tier\":" << int(e.tier) << ",\"ok\":" << (e.ok ? "true" : "false")
+       << ",\"prep_ms\":" << e.prep_ms << ",\"trans_ms\":" << e.trans_ms;
+    if (!e.detail.empty()) {
+      os << ",\"detail\":\"";
+      write_escaped(os, e.detail);
+      os << "\"";
+    }
+    os << "}\n";
+  }
+}
+
+std::vector<Event> Tracer::import_jsonl(std::istream& is) {
+  std::vector<Event> out;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line.find('{') == std::string::npos) continue;
+    Event e;
+    const auto kind = str_field(line, "kind");
+    if (!kind) continue;  // not a trace record
+    const auto k = event_kind_from(*kind);
+    if (!k) continue;
+    e.kind = *k;
+    if (const auto v = num_field(line, "span"))
+      e.span = static_cast<SpanId>(*v);
+    if (const auto v = num_field(line, "at_us"))
+      e.at_us = static_cast<std::int64_t>(*v);
+    if (const auto o = str_field(line, "origin"))
+      e.origin = origin_from(*o).value_or(Origin::kNone);
+    if (const auto v = num_field(line, "plane"))
+      e.plane = static_cast<std::uint8_t>(*v);
+    if (const auto v = num_field(line, "cause"))
+      e.cause = static_cast<std::uint8_t>(*v);
+    if (const auto v = num_field(line, "action"))
+      e.action = static_cast<std::uint8_t>(*v);
+    if (const auto v = num_field(line, "tier"))
+      e.tier = static_cast<std::uint8_t>(*v);
+    if (const auto rest = raw_value(line, "ok"))
+      e.ok = rest->rfind("true", 0) == 0;
+    if (const auto v = num_field(line, "prep_ms")) e.prep_ms = *v;
+    if (const auto v = num_field(line, "trans_ms")) e.trans_ms = *v;
+    if (auto d = str_field(line, "detail")) e.detail = std::move(*d);
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+std::vector<SpanSummary> Tracer::assemble(std::vector<Event> events) {
+  // Stable sort restores causal order for out-of-order input while
+  // preserving emit order within a microsecond tick.
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Event& a, const Event& b) {
+                     return a.at_us < b.at_us;
+                   });
+  std::map<SpanId, SpanSummary> spans;
+  for (const Event& e : events) {
+    SpanSummary& s = spans[e.span];
+    s.span = e.span;
+    switch (e.kind) {
+      case EventKind::kFailureInjected:
+        if (!s.injected_us) {
+          s.injected_us = e.at_us;
+          s.plane = e.plane;
+          s.cause = e.cause;
+        }
+        break;
+      case EventKind::kFailureDetected:
+        if (!s.detected_us) s.detected_us = e.at_us;
+        break;
+      case EventKind::kDiagnosisMade:
+        if (!s.diagnosed_us) s.diagnosed_us = e.at_us;
+        break;
+      case EventKind::kResetIssued: {
+        ActionTiming a;
+        a.action = e.action;
+        a.issued_us = e.at_us;
+        s.actions.push_back(a);
+        break;
+      }
+      case EventKind::kResetCompleted: {
+        // Pair with the last unmatched issue of the same action code.
+        for (auto it = s.actions.rbegin(); it != s.actions.rend(); ++it) {
+          if (it->action == e.action && !it->completed_us) {
+            it->completed_us = e.at_us;
+            it->ok = e.ok;
+            break;
+          }
+        }
+        break;
+      }
+      case EventKind::kRecovered:
+        if (!s.recovered_us) s.recovered_us = e.at_us;
+        break;
+      case EventKind::kCollabDownlink: ++s.collab_downlinks; break;
+      case EventKind::kCollabUplink: ++s.collab_uplinks; break;
+      case EventKind::kConflictSuppressed: ++s.conflicts_suppressed; break;
+      case EventKind::kRateLimited: ++s.rate_limited; break;
+      case EventKind::kLog: break;
+    }
+  }
+  std::vector<SpanSummary> out;
+  out.reserve(spans.size());
+  for (auto& [id, s] : spans) out.push_back(std::move(s));
+  return out;
+}
+
+void Tracer::print_summary(std::ostream& os,
+                           const std::vector<SpanSummary>& spans) {
+  auto cell = [](std::optional<double> v) {
+    std::array<char, 32> buf{};
+    if (v) {
+      std::snprintf(buf.data(), buf.size(), "%10.3f", *v);
+    } else {
+      std::snprintf(buf.data(), buf.size(), "%10s", "-");
+    }
+    return std::string(buf.data());
+  };
+  os << "  span  plane cause  detect_ms diagnose_ms recover_ms  actions\n";
+  for (const SpanSummary& s : spans) {
+    std::array<char, 64> head{};
+    std::snprintf(head.data(), head.size(), "%6llu  %5s %5d ",
+                  static_cast<unsigned long long>(s.span),
+                  s.plane == 0 ? "cp" : "dp", int(s.cause));
+    os << head.data() << cell(s.detect_ms()) << " " << cell(s.diagnose_ms())
+       << "  " << cell(s.recover_ms()) << "  ";
+    bool first = true;
+    for (const ActionTiming& a : s.actions) {
+      if (!first) os << ", ";
+      first = false;
+      os << action_code_name(a.action) << "/" << tier_name(tier_of_action(a.action));
+      if (const auto lat = a.latency_ms()) {
+        std::array<char, 32> buf{};
+        std::snprintf(buf.data(), buf.size(), "=%.3fms%s", *lat,
+                      a.ok ? "" : "(fail)");
+        os << buf.data();
+      } else {
+        os << "=pending";
+      }
+    }
+    if (first) os << "-";
+    if (s.conflicts_suppressed) os << "  conflicts=" << s.conflicts_suppressed;
+    if (s.rate_limited) os << "  rate_limited=" << s.rate_limited;
+    if (s.collab_downlinks) os << "  dl=" << s.collab_downlinks;
+    if (s.collab_uplinks) os << "  ul=" << s.collab_uplinks;
+    os << "\n";
+  }
+}
+
+}  // namespace seed::obs

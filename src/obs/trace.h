@@ -1,0 +1,290 @@
+// Failure-lifecycle tracer (the SEED observability layer, half one).
+//
+// Every failure's journey — injection, detection, diagnosis, the reset
+// actions of Table 3, recovery, and the §4.5 collaboration transfers —
+// is recorded as a typed event stamped with simulated time and grouped
+// under a per-failure span id, so benches and post-mortem tools can
+// reconstruct detect/diagnose/recover latencies instead of hand-rolling
+// the bookkeeping.
+//
+// The tracer is a process-wide singleton (the simulation is
+// single-threaded) and is OFF by default. Emit points are gated on
+// `enabled()` *before* any argument formatting — the same pattern as
+// `LogLine::live_` — so a disabled tracer adds no heap allocations on
+// the hot path; the inline emit_* helpers below take PODs only.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "simcore/time.h"
+
+namespace seed::obs {
+
+using SpanId = std::uint64_t;
+
+enum class EventKind : std::uint8_t {
+  kFailureInjected = 0,
+  kFailureDetected,
+  kDiagnosisMade,
+  kResetIssued,
+  kResetCompleted,
+  kRecovered,
+  kCollabDownlink,
+  kCollabUplink,
+  kConflictSuppressed,
+  kRateLimited,
+  kLog,
+};
+
+/// Which vantage point emitted the event (the same failure is seen by the
+/// network, the modem, the OS detector, and the SIM).
+enum class Origin : std::uint8_t {
+  kNone = 0,
+  kSim,      // SIM applet (diagnosis/decision module)
+  kInfra,    // core-network SEED plugin
+  kOs,       // Android data-stall detector
+  kModem,    // modem FSMs (rejects, resets)
+  kTestbed,  // experiment harness (injection, end-to-end recovery)
+};
+
+std::string_view event_kind_name(EventKind k);
+std::optional<EventKind> event_kind_from(std::string_view name);
+std::string_view origin_name(Origin o);
+std::optional<Origin> origin_from(std::string_view name);
+
+/// Reset actions use the paper's numeric codes (proto::ResetAction values
+/// 1..6 = A1,A2,A3,B1,B2,B3); obs keeps its own name table so the tracer
+/// stays below seedproto in the dependency graph.
+std::string_view action_code_name(std::uint8_t action);
+
+/// Reset tier of an action code: 0 none, 1 hardware, 2 c-plane, 3 d-plane.
+std::uint8_t tier_of_action(std::uint8_t action);
+std::string_view tier_name(std::uint8_t tier);
+
+struct Event {
+  SpanId span = 0;
+  EventKind kind = EventKind::kLog;
+  std::int64_t at_us = 0;  // simulated time (µs since sim epoch)
+  Origin origin = Origin::kNone;
+  std::uint8_t plane = 0;   // 0 = control, 1 = data
+  std::uint8_t cause = 0;   // standardized or customized cause code
+  std::uint8_t action = 0;  // reset action code (kResetIssued/Completed/...)
+  std::uint8_t tier = 0;    // derived from action at record time
+  bool ok = false;          // kResetCompleted: action outcome
+  double prep_ms = 0.0;     // kCollabDownlink/kCollabUplink
+  double trans_ms = 0.0;    // kCollabDownlink/kCollabUplink
+  std::string detail;       // optional free text (kLog lines)
+
+  bool operator==(const Event&) const = default;
+};
+
+/// One reset action inside a span: issue time paired with its completion.
+struct ActionTiming {
+  std::uint8_t action = 0;
+  std::int64_t issued_us = 0;
+  std::optional<std::int64_t> completed_us;
+  bool ok = false;
+
+  std::optional<double> latency_ms() const {
+    if (!completed_us) return std::nullopt;
+    return static_cast<double>(*completed_us - issued_us) / 1e3;
+  }
+};
+
+/// A failure's reconstructed lifecycle (the per-span summary row).
+struct SpanSummary {
+  SpanId span = 0;
+  std::uint8_t plane = 0;
+  std::uint8_t cause = 0;
+  std::optional<std::int64_t> injected_us;
+  std::optional<std::int64_t> detected_us;
+  std::optional<std::int64_t> diagnosed_us;
+  std::optional<std::int64_t> recovered_us;
+  std::vector<ActionTiming> actions;
+  std::uint64_t conflicts_suppressed = 0;
+  std::uint64_t rate_limited = 0;
+  std::uint64_t collab_downlinks = 0;
+  std::uint64_t collab_uplinks = 0;
+
+  std::optional<double> detect_ms() const { return delta(detected_us); }
+  std::optional<double> diagnose_ms() const { return delta(diagnosed_us); }
+  std::optional<double> recover_ms() const { return delta(recovered_us); }
+
+ private:
+  std::optional<double> delta(const std::optional<std::int64_t>& t) const {
+    if (!injected_us || !t) return std::nullopt;
+    return static_cast<double>(*t - *injected_us) / 1e3;
+  }
+};
+
+class Tracer {
+ public:
+  static Tracer& instance();
+
+  bool enabled() const { return enabled_; }
+  /// Turning tracing on also bridges the SLOG sink, so log lines and
+  /// trace events share one timestamp source and one stream.
+  void enable(bool on);
+
+  /// Points the tracer (and the logger) at a simulation clock. The
+  /// pointer must outlive the tracer's use, exactly like Logger's.
+  void set_clock(const sim::TimePoint* now);
+
+  /// Opens a new failure span and makes it the active one. Events
+  /// recorded without an explicit span attach to the active span.
+  SpanId begin_span();
+  void end_span() { active_span_ = 0; }
+  SpanId active_span() const { return active_span_; }
+
+  /// Records `e`, stamping the current simulated time and the active
+  /// span (unless the event carries its own). kFailureInjected events
+  /// implicitly begin a new span.
+  void record_now(Event e);
+
+  const std::vector<Event>& events() const { return events_; }
+  std::size_t event_count(EventKind k) const;
+  void clear();
+
+  // ----- export / import
+  void export_jsonl(std::ostream& os) const;
+  static std::vector<Event> import_jsonl(std::istream& is);
+
+  // ----- analysis (static so a replayed JSONL trace works the same)
+  /// Groups events by span and reconstructs each failure lifecycle.
+  /// Input order is irrelevant: events are sorted by timestamp first.
+  static std::vector<SpanSummary> assemble(std::vector<Event> events);
+  std::vector<SpanSummary> summarize() const { return assemble(events_); }
+  static void print_summary(std::ostream& os,
+                            const std::vector<SpanSummary>& spans);
+
+ private:
+  Tracer() = default;
+  bool enabled_ = false;
+  const sim::TimePoint* now_ = nullptr;
+  SpanId next_span_ = 1;
+  SpanId active_span_ = 0;
+  std::vector<Event> events_;
+};
+
+inline bool enabled() { return Tracer::instance().enabled(); }
+
+// ----- gated emit helpers (POD arguments only; no formatting before the
+// ----- enabled() check, so the disabled path never touches the heap)
+
+inline void emit_failure_injected(std::uint8_t plane, std::uint8_t cause,
+                                  Origin origin = Origin::kTestbed) {
+  Tracer& t = Tracer::instance();
+  if (!t.enabled()) return;
+  Event e;
+  e.kind = EventKind::kFailureInjected;
+  e.origin = origin;
+  e.plane = plane;
+  e.cause = cause;
+  t.record_now(std::move(e));
+}
+
+inline void emit_failure_detected(Origin origin, std::uint8_t plane,
+                                  std::uint8_t cause) {
+  Tracer& t = Tracer::instance();
+  if (!t.enabled()) return;
+  Event e;
+  e.kind = EventKind::kFailureDetected;
+  e.origin = origin;
+  e.plane = plane;
+  e.cause = cause;
+  t.record_now(std::move(e));
+}
+
+inline void emit_diagnosis(Origin origin, std::uint8_t plane,
+                           std::uint8_t cause, std::uint8_t action = 0) {
+  Tracer& t = Tracer::instance();
+  if (!t.enabled()) return;
+  Event e;
+  e.kind = EventKind::kDiagnosisMade;
+  e.origin = origin;
+  e.plane = plane;
+  e.cause = cause;
+  e.action = action;
+  t.record_now(std::move(e));
+}
+
+inline void emit_reset_issued(std::uint8_t action,
+                              Origin origin = Origin::kModem) {
+  Tracer& t = Tracer::instance();
+  if (!t.enabled()) return;
+  Event e;
+  e.kind = EventKind::kResetIssued;
+  e.origin = origin;
+  e.action = action;
+  t.record_now(std::move(e));
+}
+
+inline void emit_reset_completed(std::uint8_t action, bool ok,
+                                 Origin origin = Origin::kModem) {
+  Tracer& t = Tracer::instance();
+  if (!t.enabled()) return;
+  Event e;
+  e.kind = EventKind::kResetCompleted;
+  e.origin = origin;
+  e.action = action;
+  e.ok = ok;
+  t.record_now(std::move(e));
+}
+
+inline void emit_recovered(Origin origin = Origin::kTestbed) {
+  Tracer& t = Tracer::instance();
+  if (!t.enabled()) return;
+  Event e;
+  e.kind = EventKind::kRecovered;
+  e.origin = origin;
+  t.record_now(std::move(e));
+}
+
+inline void emit_collab_downlink(double prep_ms, double trans_ms) {
+  Tracer& t = Tracer::instance();
+  if (!t.enabled()) return;
+  Event e;
+  e.kind = EventKind::kCollabDownlink;
+  e.origin = Origin::kInfra;
+  e.prep_ms = prep_ms;
+  e.trans_ms = trans_ms;
+  t.record_now(std::move(e));
+}
+
+inline void emit_collab_uplink(double prep_ms, double trans_ms) {
+  Tracer& t = Tracer::instance();
+  if (!t.enabled()) return;
+  Event e;
+  e.kind = EventKind::kCollabUplink;
+  e.origin = Origin::kSim;
+  e.prep_ms = prep_ms;
+  e.trans_ms = trans_ms;
+  t.record_now(std::move(e));
+}
+
+inline void emit_conflict_suppressed(Origin origin = Origin::kSim) {
+  Tracer& t = Tracer::instance();
+  if (!t.enabled()) return;
+  Event e;
+  e.kind = EventKind::kConflictSuppressed;
+  e.origin = origin;
+  t.record_now(std::move(e));
+}
+
+inline void emit_rate_limited(std::uint8_t action,
+                              Origin origin = Origin::kSim) {
+  Tracer& t = Tracer::instance();
+  if (!t.enabled()) return;
+  Event e;
+  e.kind = EventKind::kRateLimited;
+  e.origin = origin;
+  e.action = action;
+  t.record_now(std::move(e));
+}
+
+}  // namespace seed::obs

@@ -1,6 +1,7 @@
 #include "ran/gnb.h"
 
 #include "common/params.h"
+#include "simcore/log.h"
 
 namespace seed::ran {
 
@@ -19,11 +20,14 @@ void Gnb::rrc_connect(std::function<void(bool)> done) {
       sim::to_seconds(params::kRrcSetup) * rng_.uniform(0.85, 1.3));
   sim_.schedule_after(setup, [this, done] {
     rrc_connected_ = radio_up_;
+    SLOG(kDebug, "gnb") << "rrc setup "
+                        << (rrc_connected_ ? "complete" : "failed");
     done(rrc_connected_);
   });
 }
 
 void Gnb::rrc_release() {
+  SLOG(kDebug, "gnb") << "rrc release";
   rrc_connected_ = false;
   bearers_.clear();
 }
@@ -37,6 +41,7 @@ bool Gnb::release_bearer(std::uint8_t psi) {
   bearers_.erase(psi);
   if (bearers_.empty()) {
     // Last-bearer rule: the gNB tears down RRC and the UE context.
+    SLOG(kDebug, "gnb") << "last bearer released, tearing down RRC";
     rrc_connected_ = false;
     if (on_context_released_) on_context_released_();
     return true;

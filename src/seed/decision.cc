@@ -1,11 +1,45 @@
 #include "seed/decision.h"
 
+#include <array>
+#include <string_view>
+
 #include "common/params.h"
+#include "obs/registry.h"
+#include "simcore/log.h"
 
 namespace seed::core {
 
 using proto::AssistKind;
 using proto::ResetAction;
+
+namespace {
+// Registry counter names per diagnosis class, indexed by DiagnosisClass.
+constexpr std::array<std::string_view, 9> kClassCounters = {
+    "seed.decision.cplane_cause",
+    "seed.decision.cplane_cause_config",
+    "seed.decision.dplane_cause",
+    "seed.decision.dplane_cause_config",
+    "seed.decision.delivery_report",
+    "seed.decision.custom_suggested",
+    "seed.decision.custom_unknown",
+    "seed.decision.congestion",
+    "seed.decision.user_action",
+};
+
+std::string_view klass_slug(DiagnosisClass k) {
+  const auto i = static_cast<std::size_t>(k);
+  // Strip the "seed.decision." prefix for log lines.
+  return i < kClassCounters.size() ? kClassCounters[i].substr(14) : "?";
+}
+
+void note_decision(const HandlingPlan& plan) {
+  SLOG(kDebug, "decision") << klass_slug(plan.klass) << " -> "
+                           << plan.actions.size() << " action(s), wait "
+                           << sim::to_ms(plan.wait) << " ms";
+  const auto i = static_cast<std::size_t>(plan.klass);
+  if (i < kClassCounters.size()) obs::count(kClassCounters[i]);
+}
+}  // namespace
 
 DiagnosisClass classify(const proto::DiagInfo& info) {
   switch (info.kind) {
@@ -111,6 +145,7 @@ HandlingPlan decide(const proto::DiagInfo& info, DeviceMode mode) {
       plan.notify_user = true;
       break;
   }
+  note_decision(plan);
   return plan;
 }
 
@@ -124,6 +159,7 @@ HandlingPlan decide_for_report(const proto::FailureReport& /*report*/,
   plan.actions = {mode == DeviceMode::kSeedR
                       ? proto::ResetAction::kB3DPlaneReset
                       : proto::ResetAction::kA3DPlaneConfigUpdate};
+  note_decision(plan);
   return plan;
 }
 

@@ -1,12 +1,16 @@
 #include "seed/infra_assist.h"
 
+#include "obs/trace.h"
+#include "simcore/log.h"
+
 namespace seed::core {
 
 using proto::AssistKind;
 using proto::DiagInfo;
 
-AssistAdvice classify_failure(const FailureEvent& event, NetRecord* learner,
-                              sim::Rng& rng) {
+namespace {
+AssistAdvice classify_failure_impl(const FailureEvent& event,
+                                   NetRecord* learner, sim::Rng& rng) {
   AssistAdvice advice;
   DiagInfo d;
   d.plane = event.plane;
@@ -73,6 +77,26 @@ AssistAdvice classify_failure(const FailureEvent& event, NetRecord* learner,
   }
   d.kind = AssistKind::kCustomCauseNoAction;  // SIM runs the trial sequence
   advice.diag = d;
+  return advice;
+}
+}  // namespace
+
+AssistAdvice classify_failure(const FailureEvent& event, NetRecord* learner,
+                              sim::Rng& rng) {
+  AssistAdvice advice = classify_failure_impl(event, learner, rng);
+  if (advice.diag) {
+    SLOG(kDebug, "infra") << "diagnosis for cause #" << int(advice.diag->cause)
+                          << (advice.diag->config ? " + config" : "");
+    obs::emit_diagnosis(
+        obs::Origin::kInfra, static_cast<std::uint8_t>(advice.diag->plane),
+        advice.diag->cause,
+        advice.diag->suggested
+            ? static_cast<std::uint8_t>(*advice.diag->suggested)
+            : 0);
+  } else if (advice.trigger_dplane_reset) {
+    SLOG(kDebug, "infra") << "delivery report -> network d-plane reset";
+    obs::emit_diagnosis(obs::Origin::kInfra, 1, 0, 0);
+  }
   return advice;
 }
 

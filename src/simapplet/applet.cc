@@ -2,6 +2,8 @@
 
 #include "common/codec.h"
 #include "common/params.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "simcore/log.h"
 
 namespace seed::applet {
@@ -107,10 +109,16 @@ void SeedApplet::handle_diag(const proto::DiagInfo& info) {
                         << int(info.cause) << ")"
                         << (info.config ? " + config" : "");
   last_cause_time_ = sim_.now();
+  obs::count("seed.diag.received");
 
   if (info.config) apply_config(*info.config);
 
   core::HandlingPlan plan = core::decide(info, mode_);
+  obs::emit_diagnosis(
+      obs::Origin::kSim, static_cast<std::uint8_t>(info.plane), info.cause,
+      plan.actions.empty()
+          ? 0
+          : static_cast<std::uint8_t>(plan.actions.front()));
   if (plan.notify_user) {
     ++stats_.user_notifications;
     if (notify_user_) {
@@ -213,6 +221,8 @@ void SeedApplet::run_actions(std::vector<proto::ResetAction> actions,
   }
   if (rate_limited(action)) {
     ++stats_.actions_rate_limited;
+    obs::emit_rate_limited(static_cast<std::uint8_t>(action));
+    obs::count("seed.rate_limited");
     run_actions(std::move(actions), idx + 1, learning, cause);
     return;
   }
@@ -280,6 +290,9 @@ void SeedApplet::report_failure(const proto::FailureReport& report) {
   // Conflict window: an ongoing cause-based handling supersedes (§4.4.2).
   if (sim_.now() - last_cause_time_ < params::kSeedConflictWindow) {
     ++stats_.reports_suppressed_conflict;
+    SLOG(kDebug, "applet") << "delivery report suppressed (conflict window)";
+    obs::emit_conflict_suppressed();
+    obs::count("seed.conflict_suppressed");
     return;
   }
   if (mode_ == core::DeviceMode::kSeedR) {
@@ -312,6 +325,10 @@ void SeedApplet::send_report_uplink(const proto::FailureReport& report) {
     const auto send_start = sim_.now();
     control_->send_diag_report(dnns, [this, send_start](bool /*acked*/) {
       report_trans_ms_.push_back(sim::to_ms(sim_.now() - send_start));
+      SLOG(kDebug, "applet") << "uplink report delivered";
+      obs::emit_collab_uplink(report_prep_ms_.back(),
+                              report_trans_ms_.back());
+      obs::count("seed.collab.uplink");
       // Give the network a beat to apply a config-only fix (modification
       // command); if service is still down, run the Fig. 6 fast reset.
       sim_.schedule_after(sim::ms(120), [this] {
@@ -321,6 +338,9 @@ void SeedApplet::send_report_uplink(const proto::FailureReport& report) {
           control_->fast_dplane_reset([](bool) {});
         } else {
           ++stats_.actions_rate_limited;
+          obs::emit_rate_limited(
+              static_cast<std::uint8_t>(proto::ResetAction::kB3DPlaneReset));
+          obs::count("seed.rate_limited");
         }
       });
     });

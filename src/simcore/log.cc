@@ -19,6 +19,15 @@ Logger& Logger::instance() {
 
 void Logger::write(LogLevel level, std::string_view component,
                    std::string_view message) {
+  if (sink_) {
+    sink_(level, component, message, now_);
+    return;
+  }
+  write_default(level, component, message);
+}
+
+void Logger::write_default(LogLevel level, std::string_view component,
+                           std::string_view message) {
   static constexpr std::array<const char*, 5> kNames = {"TRACE", "DEBUG",
                                                         "INFO ", "WARN ",
                                                         "ERROR"};

@@ -4,6 +4,7 @@
 // on to show the protocol timeline.
 #pragma once
 
+#include <functional>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -17,21 +18,35 @@ enum class LogLevel { kTrace, kDebug, kInfo, kWarn, kError, kOff };
 
 class Logger {
  public:
+  /// Receives every emitted line instead of the default stdout writer.
+  /// The sink may call write_default() to keep the console output.
+  using Sink = std::function<void(LogLevel, std::string_view component,
+                                  std::string_view message,
+                                  const TimePoint* now)>;
+
   static Logger& instance();
 
   void set_level(LogLevel level) { level_ = level; }
   LogLevel level() const { return level_; }
   void set_clock(const TimePoint* now) { now_ = now; }
+  const TimePoint* clock() const { return now_; }
+
+  void set_sink(Sink sink) { sink_ = std::move(sink); }
+  bool has_sink() const { return static_cast<bool>(sink_); }
 
   bool enabled(LogLevel level) const { return level >= level_; }
 
   void write(LogLevel level, std::string_view component,
              std::string_view message);
+  /// The stock stdout writer, bypassing any installed sink.
+  void write_default(LogLevel level, std::string_view component,
+                     std::string_view message);
 
  private:
   Logger() = default;
   LogLevel level_ = LogLevel::kOff;
   const TimePoint* now_ = nullptr;
+  Sink sink_;
 };
 
 /// Builds a log line with stream syntax:  SLOG(kInfo, "amf") << "attach";

@@ -36,6 +36,9 @@ bool Simulator::pop_one() {
     if (processed_ > budget_) {
       throw std::runtime_error("Simulator: event budget exhausted");
     }
+    if (probe_ && processed_ % probe_every_ == 0) {
+      probe_(live_.size(), processed_);
+    }
     cb();
     return true;
   }

@@ -65,6 +65,16 @@ class Simulator {
   /// when exceeded.
   void set_event_budget(std::uint64_t budget) { budget_ = budget; }
 
+  /// Periodic introspection hook, invoked every `every_n_events` processed
+  /// events with the live queue depth and the running event count. Used by
+  /// the observability layer for event-loop gauges; pass nullptr to remove.
+  using Probe = std::function<void(std::size_t queued,
+                                   std::uint64_t processed)>;
+  void set_probe(Probe probe, std::uint64_t every_n_events = 2048) {
+    probe_ = std::move(probe);
+    probe_every_ = every_n_events > 0 ? every_n_events : 1;
+  }
+
  private:
   struct Entry {
     TimePoint at;
@@ -84,6 +94,8 @@ class Simulator {
   bool stopped_ = false;
   std::uint64_t processed_ = 0;
   std::uint64_t budget_ = 500'000'000;
+  Probe probe_;
+  std::uint64_t probe_every_ = 2048;
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
   std::unordered_set<TimerId> live_;
   std::unordered_map<TimerId, Callback> callbacks_;

@@ -2,6 +2,8 @@
 
 #include "common/bytes.h"
 #include "common/params.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "simcore/log.h"
 
 namespace seed::testbed {
@@ -16,11 +18,41 @@ crypto::Key128 key_of(std::uint8_t tag) {
   return k;
 }
 
+// Representative cause codes for injected failures (what the network will
+// reject with), used to label the tracer's FailureInjected span openers.
+std::uint8_t cp_cause_of(CpFailure f) {
+  switch (f) {
+    case CpFailure::kIdentityDesync: return 9;
+    case CpFailure::kOutdatedPlmn: return 11;
+    case CpFailure::kTransientStateMismatch: return 98;
+    case CpFailure::kQuickTransient: return 98;
+    case CpFailure::kUnauthorized: return 3;
+    case CpFailure::kCongestion: return 22;
+    case CpFailure::kCustomUnknown: return 0xc1;
+  }
+  return 0;
+}
+
+std::uint8_t dp_cause_of(DpFailure f) {
+  switch (f) {
+    case DpFailure::kOutdatedDnn: return 33;
+    case DpFailure::kUnknownDnn: return 27;
+    case DpFailure::kOutdatedSlice: return 70;
+    case DpFailure::kExpiredPlan: return 29;
+    case DpFailure::kCongestion: return 26;
+    case DpFailure::kCustomUnknown: return 0xd7;
+  }
+  return 0;
+}
+
 }  // namespace
 
 Testbed::Testbed(std::uint64_t seed, Scheme scheme)
     : rng_(seed), cpu_(params::kCoreServerCores), scheme_(scheme) {
-  sim::Logger::instance().set_clock(&sim_.now_ref());
+  // One timestamp source for logs and trace events (set_clock forwards to
+  // the logger), plus event-loop gauges when the registry is enabled.
+  obs::Tracer::instance().set_clock(&sim_.now_ref());
+  obs::observe_simulator(sim_);
   gnb_ = std::make_unique<ran::Gnb>(sim_, rng_);
   core_ = std::make_unique<corenet::CoreNetwork>(sim_, rng_, db_, *gnb_,
                                                  cpu_);
@@ -75,15 +107,24 @@ Outcome Testbed::await_recovery(sim::TimePoint t0, sim::Duration timeout) {
     if (device_->traffic().path_healthy()) {
       out.recovered = true;
       out.disruption_s = sim::to_seconds(sim_.now() - t0);
+      SLOG(kDebug, "testbed") << "recovered after " << out.disruption_s
+                              << " s";
+      obs::emit_recovered();
+      obs::observe("seed.recovery_ms", out.disruption_s * 1e3);
       // Let trailing protocol actions (release completions, record
       // uploads, cancelled timers) settle before returning.
       sim_.run_for(sim::seconds(6));
+      obs::Tracer::instance().end_span();
       return out;
     }
   }
   out.recovered = false;
   out.disruption_s = sim::to_seconds(timeout);
   out.user_action_required = device_->user_notifications() > 0;
+  SLOG(kDebug, "testbed") << "recovery timeout after "
+                          << sim::to_seconds(timeout) << " s";
+  obs::count("seed.recovery_timeouts");
+  obs::Tracer::instance().end_span();
   return out;
 }
 
@@ -138,6 +179,9 @@ Outcome Testbed::run_cp_failure(CpFailure f, sim::Duration timeout) {
   }
 
   const auto t0 = sim_.now();
+  SLOG(kDebug, "testbed") << "inject c-plane failure, expected cause #"
+                          << int(cp_cause_of(f));
+  obs::emit_failure_injected(0, cp_cause_of(f));
   // Mobility/TAU event forces the control-plane procedure under fault.
   device_->modem().trigger_reattach();
   Outcome out = await_recovery(t0, timeout);
@@ -215,6 +259,9 @@ Outcome Testbed::run_dp_failure(DpFailure f, sim::Duration timeout) {
   }
 
   const auto t0 = sim_.now();
+  SLOG(kDebug, "testbed") << "inject d-plane failure, expected cause #"
+                          << int(dp_cause_of(f));
+  obs::emit_failure_injected(1, dp_cause_of(f));
   // Data-plane management procedure under fault: the SMF lost the
   // session context (state desync) and the device re-requests it while
   // staying registered. Disruption is measured from the procedure start.
@@ -250,6 +297,8 @@ Outcome Testbed::run_delivery_failure(DeliveryFailure f,
   }
 
   const auto t0 = sim_.now();
+  SLOG(kDebug, "testbed") << "inject data-delivery failure";
+  obs::emit_failure_injected(1, 0);
   if (immediate_detection) {
     // Paper §7.1.1 measures recovery with the failure reported promptly
     // (apps use the SEED report API; the legacy baseline is triggered at
@@ -296,6 +345,8 @@ Outcome Testbed::run_custom_failure(nas::Plane plane, core::CustomCause code,
                                     sim::Duration timeout) {
   auto& faults = core_->faults();
   const auto t0 = sim_.now();
+  obs::emit_failure_injected(plane == nas::Plane::kControl ? 0 : 1,
+                             static_cast<std::uint8_t>(code & 0xff));
   if (plane == nas::Plane::kControl) {
     faults.custom_cause_cp = code;
     device_->modem().trigger_reattach();

@@ -1,0 +1,286 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "metrics/stats.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
+#include "simcore/log.h"
+#include "simcore/simulator.h"
+
+namespace seed::obs {
+namespace {
+
+// The tracer and registry are process-wide singletons: every test starts
+// from a clean, disabled state and leaves it that way.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer& t = Tracer::instance();
+    t.enable(false);
+    t.clear();
+    t.set_clock(&now_);
+    Registry::instance().enable(false);
+    Registry::instance().clear();
+  }
+
+  void TearDown() override {
+    Tracer& t = Tracer::instance();
+    t.enable(false);
+    t.clear();
+    t.set_clock(nullptr);
+    Registry::instance().enable(false);
+    Registry::instance().clear();
+    sim::Logger::instance().set_level(sim::LogLevel::kOff);
+  }
+
+  void advance(sim::Duration d) { now_ += d; }
+
+  sim::TimePoint now_ = sim::kTimeZero;
+};
+
+TEST_F(ObsTest, DisabledTracerRecordsNothing) {
+  emit_failure_injected(0, 9);
+  emit_failure_detected(Origin::kModem, 0, 9);
+  emit_diagnosis(Origin::kSim, 0, 9, 1);
+  emit_reset_issued(1);
+  emit_reset_completed(1, true);
+  emit_recovered();
+  emit_collab_downlink(1.0, 2.0);
+  emit_conflict_suppressed();
+  emit_rate_limited(6);
+  EXPECT_TRUE(Tracer::instance().events().empty());
+}
+
+TEST_F(ObsTest, SpanOpensOnInjectionAndEventsAttach) {
+  Tracer& t = Tracer::instance();
+  t.enable(true);
+
+  emit_failure_injected(0, 9);
+  const SpanId first = t.active_span();
+  ASSERT_NE(first, 0u);
+  advance(sim::ms(35));
+  emit_failure_detected(Origin::kModem, 0, 9);
+  advance(sim::ms(5));
+  emit_reset_issued(4);  // B1
+  t.end_span();
+  EXPECT_EQ(t.active_span(), 0u);
+
+  emit_failure_injected(1, 33);  // new failure -> new span
+  const SpanId second = t.active_span();
+  EXPECT_EQ(second, first + 1);
+
+  ASSERT_EQ(t.events().size(), 4u);
+  EXPECT_EQ(t.events()[0].span, first);
+  EXPECT_EQ(t.events()[1].span, first);
+  EXPECT_EQ(t.events()[1].at_us, 35000);
+  EXPECT_EQ(t.events()[2].span, first);
+  EXPECT_EQ(t.events()[2].tier, 1);  // derived: B1 is the hardware tier
+  EXPECT_EQ(t.events()[3].span, second);
+  EXPECT_EQ(t.event_count(EventKind::kFailureInjected), 2u);
+}
+
+TEST_F(ObsTest, SpanIdsStayMonotonicAcrossClear) {
+  Tracer& t = Tracer::instance();
+  t.enable(true);
+  emit_failure_injected(0, 9);
+  const SpanId before = t.active_span();
+  t.clear();
+  EXPECT_TRUE(t.events().empty());
+  emit_failure_injected(0, 9);
+  EXPECT_GT(t.active_span(), before);
+}
+
+TEST_F(ObsTest, AssembleHandlesOutOfOrderEvents) {
+  auto ev = [](SpanId span, EventKind kind, std::int64_t at_us) {
+    Event e;
+    e.span = span;
+    e.kind = kind;
+    e.at_us = at_us;
+    return e;
+  };
+  Event injected = ev(7, EventKind::kFailureInjected, 1000);
+  injected.plane = 1;
+  injected.cause = 33;
+  Event issued = ev(7, EventKind::kResetIssued, 2000);
+  issued.action = 3;
+  Event completed = ev(7, EventKind::kResetCompleted, 5000);
+  completed.action = 3;
+  completed.ok = true;
+
+  // Deliberately shuffled: a trace merged from several files need not be
+  // time-sorted.
+  std::vector<Event> events = {
+      completed,
+      ev(7, EventKind::kRecovered, 6000),
+      injected,
+      ev(7, EventKind::kDiagnosisMade, 1800),
+      issued,
+      ev(7, EventKind::kFailureDetected, 1500),
+  };
+
+  const std::vector<SpanSummary> spans = Tracer::assemble(std::move(events));
+  ASSERT_EQ(spans.size(), 1u);
+  const SpanSummary& s = spans[0];
+  EXPECT_EQ(s.span, 7u);
+  EXPECT_EQ(s.plane, 1);
+  EXPECT_EQ(s.cause, 33);
+  ASSERT_TRUE(s.detect_ms().has_value());
+  EXPECT_DOUBLE_EQ(*s.detect_ms(), 0.5);
+  ASSERT_TRUE(s.diagnose_ms().has_value());
+  EXPECT_DOUBLE_EQ(*s.diagnose_ms(), 0.8);
+  ASSERT_TRUE(s.recover_ms().has_value());
+  EXPECT_DOUBLE_EQ(*s.recover_ms(), 5.0);
+  ASSERT_EQ(s.actions.size(), 1u);
+  EXPECT_TRUE(s.actions[0].ok);
+  ASSERT_TRUE(s.actions[0].latency_ms().has_value());
+  EXPECT_DOUBLE_EQ(*s.actions[0].latency_ms(), 3.0);
+}
+
+TEST_F(ObsTest, ResetCompletionPairsWithLastUnmatchedIssue) {
+  Tracer& t = Tracer::instance();
+  t.enable(true);
+  emit_failure_injected(0, 9);
+  emit_reset_issued(1);
+  advance(sim::ms(100));
+  emit_reset_issued(1);  // retry of the same action, still pending
+  advance(sim::ms(100));
+  emit_reset_completed(1, true);
+
+  const std::vector<SpanSummary> spans = t.summarize();
+  ASSERT_EQ(spans.size(), 1u);
+  ASSERT_EQ(spans[0].actions.size(), 2u);
+  EXPECT_FALSE(spans[0].actions[0].completed_us.has_value());
+  ASSERT_TRUE(spans[0].actions[1].completed_us.has_value());
+  EXPECT_DOUBLE_EQ(*spans[0].actions[1].latency_ms(), 100.0);
+}
+
+TEST_F(ObsTest, JsonlRoundTripPreservesEvents) {
+  Tracer& t = Tracer::instance();
+  t.enable(true);
+  emit_failure_injected(1, 27);
+  advance(sim::ms(12));
+  emit_collab_downlink(12.5, 0.25);
+  advance(sim::ms(3));
+  emit_reset_completed(6, false);
+  Event log;
+  log.kind = EventKind::kLog;
+  log.detail = "modem: said \"reset\"\n\ttab and \\ backslash";
+  t.record_now(std::move(log));
+
+  std::stringstream buf;
+  t.export_jsonl(buf);
+  const std::vector<Event> back = Tracer::import_jsonl(buf);
+  EXPECT_EQ(back, t.events());
+}
+
+TEST_F(ObsTest, ImportSkipsMalformedLines) {
+  std::stringstream buf;
+  buf << "not json at all\n"
+      << "{\"kind\":\"no_such_kind\",\"at_us\":1}\n"
+      << "{\"span\":3,\"kind\":\"recovered\",\"at_us\":42,\"origin\":"
+         "\"testbed\"}\n";
+  const std::vector<Event> back = Tracer::import_jsonl(buf);
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0].span, 3u);
+  EXPECT_EQ(back[0].kind, EventKind::kRecovered);
+  EXPECT_EQ(back[0].at_us, 42);
+  EXPECT_EQ(back[0].origin, Origin::kTestbed);
+}
+
+TEST_F(ObsTest, LogLinesBridgeIntoTraceStream) {
+  Tracer& t = Tracer::instance();
+  t.enable(true);
+  sim::Logger::instance().set_level(sim::LogLevel::kDebug);
+  advance(sim::seconds(2));
+  SLOG(kDebug, "obstest") << "bridge check " << 7;
+  ASSERT_EQ(t.event_count(EventKind::kLog), 1u);
+  const Event& e = t.events().back();
+  EXPECT_EQ(e.detail, "obstest: bridge check 7");
+  EXPECT_EQ(e.at_us, 2000000);  // same clock as the tracer
+}
+
+TEST_F(ObsTest, RegistryHelpersAreNoOpsWhenDisabled) {
+  count("seed.test.counter", 5);
+  observe("seed.test.hist", 1.0);
+  std::stringstream json;
+  Registry::instance().dump_json(json);
+  EXPECT_EQ(json.str(), "{\"counters\":{},\"gauges\":{},\"histograms\":{}}\n");
+}
+
+TEST_F(ObsTest, RegistryCountsAndDumps) {
+  Registry& r = Registry::instance();
+  r.enable(true);
+  count("seed.test.counter");
+  count("seed.test.counter", 2);
+  r.gauge("seed.test.gauge").set(1.5);
+  observe("seed.test.hist", 10.0);
+  observe("seed.test.hist", 20.0);
+  observe("seed.test.hist", 30.0);
+
+  EXPECT_EQ(r.counter("seed.test.counter").value(), 3u);
+  EXPECT_DOUBLE_EQ(r.gauge("seed.test.gauge").value(), 1.5);
+  EXPECT_DOUBLE_EQ(r.histogram("seed.test.hist").samples().percentile(50),
+                   20.0);
+
+  std::stringstream prom;
+  r.dump_prometheus(prom);
+  const std::string text = prom.str();
+  EXPECT_NE(text.find("# TYPE seed_test_counter counter\nseed_test_counter 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("seed_test_gauge 1.5"), std::string::npos);
+  EXPECT_NE(text.find("seed_test_hist{quantile=\"0.5\"} 20"),
+            std::string::npos);
+  EXPECT_NE(text.find("seed_test_hist_count 3"), std::string::npos);
+
+  std::stringstream json;
+  r.dump_json(json);
+  EXPECT_NE(json.str().find("\"seed.test.counter\":3"), std::string::npos);
+  EXPECT_NE(json.str().find("\"p50\":20"), std::string::npos);
+}
+
+TEST_F(ObsTest, SimulatorProbeExportsEventLoopGauges) {
+  sim::Simulator s;
+  observe_simulator(s, /*every_n=*/1);
+  Registry& r = Registry::instance();
+  r.enable(true);
+  for (int i = 1; i <= 5; ++i) {
+    s.schedule_after(sim::ms(i), [] {});
+  }
+  s.run_for(sim::ms(10));
+  EXPECT_GT(r.gauge("seed.sim.events_processed").value(), 0.0);
+  EXPECT_GE(r.histogram("seed.sim.queue_depth_hist").samples().count(), 1u);
+}
+
+// Regression: Samples::clear() used to leave the cached sorted copy (and
+// its validity flag) behind, so percentile() after clear+refill answered
+// from the PREVIOUS population.
+TEST_F(ObsTest, SamplesClearInvalidatesPercentileCache) {
+  metrics::Samples s;
+  s.add(1.0);
+  s.add(2.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 2.0);  // builds the sorted cache
+  s.clear();
+  s.add(10.0);
+  s.add(20.0);
+  s.add(30.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 20.0);
+  EXPECT_DOUBLE_EQ(s.min(), 10.0);
+  EXPECT_DOUBLE_EQ(s.max(), 30.0);
+}
+
+// Regression: add() after a percentile query must invalidate the cache
+// too, not just grow the raw values.
+TEST_F(ObsTest, SamplesAddAfterQueryRefreshesCache) {
+  metrics::Samples s;
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 5.0);
+  s.add(50.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 50.0);
+}
+
+}  // namespace
+}  // namespace seed::obs
