@@ -8,11 +8,17 @@
 //      magnitude even without SEED,
 //   4. T3511 sweep — the legacy retry timer directly sets the disruption
 //      floor for transient control-plane failures.
+//
+// Each ablation's independent runs fan out over the FleetRunner pool and
+// fold back in shard order, so the output is byte-identical for any
+// thread count; wall-clock lands in BENCH_fleet.json.
 #include <iostream>
 
 #include "common/params.h"
+#include "fleet_bench.h"
 #include "metrics/stats.h"
 #include "metrics/table.h"
+#include "simcore/fleet_runner.h"
 #include "testbed/testbed.h"
 
 namespace {
@@ -20,15 +26,21 @@ namespace {
 using namespace seed;
 using namespace seed::testbed;
 
-double avg_cp(device::Scheme scheme, CpFailure f, std::uint64_t seed,
-              int runs, bool sticky_identity = true) {
+double avg_cp(const sim::FleetRunner& fleet, device::Scheme scheme,
+              CpFailure f, std::uint64_t seed, int runs,
+              bool sticky_identity = true) {
+  const auto outs = fleet.map<Outcome>(
+      static_cast<std::size_t>(runs), [&](const sim::ShardInfo& info) {
+        Testbed tb(seed + static_cast<std::uint64_t>(info.index) * 11,
+                   scheme);
+        tb.secondary_congestion_prob = 0;
+        tb.bring_up();
+        tb.dev().modem().behavior().sticky_identity_on_cause9 =
+            sticky_identity;
+        return tb.run_cp_failure(f, sim::minutes(40));
+      });
   metrics::Samples s;
-  for (int i = 0; i < runs; ++i) {
-    Testbed tb(seed + static_cast<std::uint64_t>(i) * 11, scheme);
-    tb.secondary_congestion_prob = 0;
-    tb.bring_up();
-    tb.dev().modem().behavior().sticky_identity_on_cause9 = sticky_identity;
-    const Outcome out = tb.run_cp_failure(f, sim::minutes(40));
+  for (const Outcome& out : outs) {
     if (out.recovered) s.add(out.disruption_s);
   }
   return s.empty() ? -1 : s.mean();
@@ -36,9 +48,13 @@ double avg_cp(device::Scheme scheme, CpFailure f, std::uint64_t seed,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   constexpr std::uint64_t kSeed = 20220909;
   constexpr int kRuns = 15;
+
+  const sim::FleetRunner fleet(seed::benchutil::fleet_threads(argc, argv));
+  seed::benchutil::FleetStopwatch watch("ablations", fleet.threads(),
+                                        kRuns * 4u);
 
   // ---- 1. The 2 s transient wait.
   {
@@ -47,15 +63,24 @@ int main() {
                           "c-plane failures (SEED-U)");
     metrics::Table t({"Scenario", "Mean disruption (s)", "Resets fired"});
     // Quick transient WITH the wait: self-recovery, no reset.
+    struct WaitOut {
+      Outcome out;
+      std::uint64_t actions_run;
+    };
+    const auto outs = fleet.map<WaitOut>(
+        kRuns, [&](const sim::ShardInfo& info) {
+          Testbed tb(kSeed + static_cast<std::uint64_t>(info.index),
+                     device::Scheme::kSeedU);
+          tb.secondary_congestion_prob = 0;
+          tb.bring_up();
+          const Outcome out = tb.run_cp_failure(CpFailure::kQuickTransient);
+          return WaitOut{out, tb.dev().applet().stats().actions_run};
+        });
     metrics::Samples with_wait;
     std::uint64_t resets_with = 0;
-    for (int i = 0; i < kRuns; ++i) {
-      Testbed tb(kSeed + static_cast<std::uint64_t>(i), device::Scheme::kSeedU);
-      tb.secondary_congestion_prob = 0;
-      tb.bring_up();
-      const Outcome out = tb.run_cp_failure(CpFailure::kQuickTransient);
-      if (out.recovered) with_wait.add(out.disruption_s);
-      resets_with += tb.dev().applet().stats().actions_run;
+    for (const WaitOut& w : outs) {
+      if (w.out.recovered) with_wait.add(w.out.disruption_s);
+      resets_with += w.actions_run;
     }
     t.row({"transient, wait enabled (paper design)",
            metrics::Table::num(with_wait.mean(), 2),
@@ -72,37 +97,50 @@ int main() {
                           "Ablation 2: Fig. 6 fast data-plane reset vs "
                           "naive release+re-establish");
     metrics::Table t({"Strategy", "Mean time (s)", "Reattach needed?"});
+    struct ResetOut {
+      double fig6_s;
+      double naive_s;
+      bool lost_context;
+    };
+    const auto outs = fleet.map<ResetOut>(
+        kRuns, [&](const sim::ShardInfo& info) {
+          const auto i = static_cast<std::uint64_t>(info.index);
+          ResetOut r{};
+          // Fig. 6: DIAG session keeps the bearer.
+          {
+            Testbed tb(kSeed + 100 + i, device::Scheme::kSeedR);
+            tb.bring_up();
+            const auto t0 = tb.simulator().now();
+            bool done = false;
+            tb.dev().modem().fast_dplane_reset([&done](bool) { done = true; });
+            while (!done) tb.simulator().run_for(sim::ms(20));
+            r.fig6_s = sim::to_seconds(tb.simulator().now() - t0);
+          }
+          // Naive: release DATA (last bearer!) then re-request.
+          {
+            Testbed tb(kSeed + 200 + i, device::Scheme::kLegacy);
+            tb.bring_up();
+            const auto t0 = tb.simulator().now();
+            bool released = false;
+            tb.dev().modem().release_data_session(
+                [&released] { released = true; });
+            while (!released) tb.simulator().run_for(sim::ms(20));
+            r.lost_context = !tb.core().device_registered();
+            tb.dev().modem().request_data_session();
+            while (!tb.dev().traffic().path_healthy()) {
+              tb.simulator().run_for(sim::ms(50));
+              if (tb.simulator().now() - t0 > sim::minutes(5)) break;
+            }
+            r.naive_s = sim::to_seconds(tb.simulator().now() - t0);
+          }
+          return r;
+        });
     metrics::Samples fig6, naive;
     bool naive_lost_context = false;
-    for (int i = 0; i < kRuns; ++i) {
-      // Fig. 6: DIAG session keeps the bearer.
-      {
-        Testbed tb(kSeed + 100 + static_cast<std::uint64_t>(i),
-                   device::Scheme::kSeedR);
-        tb.bring_up();
-        const auto t0 = tb.simulator().now();
-        bool done = false;
-        tb.dev().modem().fast_dplane_reset([&done](bool) { done = true; });
-        while (!done) tb.simulator().run_for(sim::ms(20));
-        fig6.add(sim::to_seconds(tb.simulator().now() - t0));
-      }
-      // Naive: release DATA (last bearer!) then re-request.
-      {
-        Testbed tb(kSeed + 200 + static_cast<std::uint64_t>(i),
-                   device::Scheme::kLegacy);
-        tb.bring_up();
-        const auto t0 = tb.simulator().now();
-        bool released = false;
-        tb.dev().modem().release_data_session([&released] { released = true; });
-        while (!released) tb.simulator().run_for(sim::ms(20));
-        if (!tb.core().device_registered()) naive_lost_context = true;
-        tb.dev().modem().request_data_session();
-        while (!tb.dev().traffic().path_healthy()) {
-          tb.simulator().run_for(sim::ms(50));
-          if (tb.simulator().now() - t0 > sim::minutes(5)) break;
-        }
-        naive.add(sim::to_seconds(tb.simulator().now() - t0));
-      }
+    for (const ResetOut& r : outs) {
+      fig6.add(r.fig6_s);
+      naive.add(r.naive_s);
+      naive_lost_context |= r.lost_context;
     }
     t.row({"Fig. 6 DIAG companion (B3)", metrics::Table::num(fig6.mean(), 2),
            "no"});
@@ -119,12 +157,12 @@ int main() {
                           "(no SEED)");
     metrics::Table t({"Modem behaviour", "Mean disruption (s)"});
     t.row({"sticky GUTI retries (observed legacy, §3.2)",
-           metrics::Table::num(avg_cp(device::Scheme::kLegacy,
+           metrics::Table::num(avg_cp(fleet, device::Scheme::kLegacy,
                                       CpFailure::kIdentityDesync, kSeed + 300,
                                       8, true),
                                1)});
     t.row({"spec-clean SUCI fallback",
-           metrics::Table::num(avg_cp(device::Scheme::kLegacy,
+           metrics::Table::num(avg_cp(fleet, device::Scheme::kLegacy,
                                       CpFailure::kIdentityDesync, kSeed + 400,
                                       8, false),
                                1)});
@@ -140,12 +178,13 @@ int main() {
               << " s (3GPP default; paper §2). Legacy transient c-plane "
                  "recovery measured at ~"
               << metrics::Table::num(
-                     avg_cp(device::Scheme::kLegacy,
+                     avg_cp(fleet, device::Scheme::kLegacy,
                             CpFailure::kTransientStateMismatch, kSeed + 500,
                             8),
                      1)
               << " s — the timer dominates; SEED's cause-driven reset "
                  "bypasses it entirely.\n";
   }
+  watch.append_json();
   return 0;
 }

@@ -1,0 +1,37 @@
+#include "obs/fleet_obs.h"
+
+#include <utility>
+
+namespace seed::obs {
+
+void begin_shard_obs(bool traces, bool metrics) {
+  Tracer& t = Tracer::instance();
+  t.clear();
+  t.enable(traces);
+  Registry& r = Registry::instance();
+  r.clear();
+  r.enable(metrics);
+}
+
+ShardObs end_shard_obs() {
+  ShardObs out;
+  Tracer& t = Tracer::instance();
+  out.trace_events = t.events();
+  t.enable(false);
+  t.clear();
+  // Detach the clock: it usually points at a shard-owned Simulator that
+  // dies with the shard body.
+  t.set_clock(nullptr);
+  Registry& r = Registry::instance();
+  out.metrics = r.snapshot();
+  r.enable(false);
+  r.clear();
+  return out;
+}
+
+void merge_shard_obs(ShardObs&& shard) {
+  Tracer::instance().absorb(std::move(shard.trace_events));
+  Registry::instance().merge_from(shard.metrics);
+}
+
+}  // namespace seed::obs

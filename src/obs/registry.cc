@@ -28,8 +28,24 @@ std::string fmt(double v) {
 }  // namespace
 
 Registry& Registry::instance() {
-  static Registry registry;
+  // Thread-local: every fleet-runner worker gets an isolated registry;
+  // shard snapshots are folded back into the caller's instance in shard
+  // order (merge_from).
+  static thread_local Registry registry;
   return registry;
+}
+
+void Registry::merge_from(const Registry& other) {
+  for (const auto& [name, c] : other.counters_) {
+    counter(name).inc(c.value());
+  }
+  for (const auto& [name, g] : other.gauges_) {
+    gauge(name).set(g.value());
+  }
+  for (const auto& [name, h] : other.histograms_) {
+    Histogram& mine = histogram(name);
+    for (double v : h.samples().values()) mine.observe(v);
+  }
 }
 
 Counter& Registry::counter(std::string_view name) {

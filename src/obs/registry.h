@@ -5,7 +5,9 @@
 // exposition or JSON. Histograms are backed by metrics::Samples so they
 // answer the same percentile queries the benches already use.
 //
-// Like the tracer, the registry is a process-wide singleton and OFF by
+// Like the tracer, the registry singleton is thread-local (each
+// simulation thread owns an isolated instance; fleet merges fold shard
+// snapshots back in shard order) and OFF by
 // default; instrument sites gate on `Registry::instance().enabled()`
 // (or use the metric handle they cached) so the disabled path costs one
 // branch.
@@ -56,6 +58,10 @@ class Histogram {
 
 class Registry {
  public:
+  /// The thread's live registry is instance(); freestanding Registry
+  /// values act as snapshot/merge buffers for shard captures.
+  Registry() = default;
+
   static Registry& instance();
 
   bool enabled() const { return enabled_; }
@@ -76,8 +82,17 @@ class Registry {
   /// Drops every metric (names and values).
   void clear();
 
+  /// Folds another registry's metrics into this one: counters add,
+  /// histograms append samples, gauges take the other's value (last write
+  /// wins — fleet merges call this in shard order, so the merged dump is
+  /// deterministic). Works even while disabled.
+  void merge_from(const Registry& other);
+
+  /// Value-type copy of this registry (shard captures hand snapshots
+  /// across threads with it).
+  Registry snapshot() const { return *this; }
+
  private:
-  Registry() = default;
   bool enabled_ = false;
   // std::map: deterministic dump order, and node stability keeps cached
   // metric handles valid across later insertions.

@@ -139,8 +139,26 @@ std::string_view tier_name(std::uint8_t tier) {
 }
 
 Tracer& Tracer::instance() {
-  static Tracer tracer;
+  // Thread-local: every fleet-runner worker gets an isolated tracer, so
+  // parallel shards record into private event buffers; the fleet layer
+  // merges captures into the caller's tracer in shard order (absorb()).
+  static thread_local Tracer tracer;
   return tracer;
+}
+
+void Tracer::absorb(std::vector<Event> events) {
+  // Renumber incoming spans into this tracer's id space in first-seen
+  // order, so concatenating shard captures in shard order yields one
+  // collision-free, deterministic stream.
+  std::map<SpanId, SpanId> remap;
+  for (Event& e : events) {
+    if (e.span != 0) {
+      auto [it, inserted] = remap.emplace(e.span, 0);
+      if (inserted) it->second = next_span_++;
+      e.span = it->second;
+    }
+    events_.push_back(std::move(e));
+  }
 }
 
 void Tracer::enable(bool on) {

@@ -7,8 +7,10 @@
 // reconstruct detect/diagnose/recover latencies instead of hand-rolling
 // the bookkeeping.
 //
-// The tracer is a process-wide singleton (the simulation is
-// single-threaded) and is OFF by default. Emit points are gated on
+// The tracer is a thread-local singleton (each simulation thread — the
+// main thread or a FleetRunner worker — owns an isolated instance; the
+// fleet layer merges shard captures in shard order) and is OFF by
+// default. Emit points are gated on
 // `enabled()` *before* any argument formatting — the same pattern as
 // `LogLine::live_` — so a disabled tracer adds no heap allocations on
 // the hot path; the inline emit_* helpers below take PODs only.
@@ -149,6 +151,18 @@ class Tracer {
   const std::vector<Event>& events() const { return events_; }
   std::size_t event_count(EventKind k) const;
   void clear();
+
+  /// Appends events captured elsewhere (another thread's tracer, an
+  /// imported file), renumbering their span ids into this tracer's space
+  /// in first-seen order. Fleet merges call this in shard order so the
+  /// combined stream is deterministic; appends even while disabled.
+  void absorb(std::vector<Event> events);
+
+  /// Restarts span numbering from 1. clear() deliberately keeps ids
+  /// monotonic so consecutive exports concatenate; call this only when
+  /// previous exports are discarded (isolated fleet runs, tests) and a
+  /// reproducible id sequence matters.
+  void reset_span_counter() { next_span_ = 1; }
 
   // ----- export / import
   void export_jsonl(std::ostream& os) const;

@@ -35,6 +35,16 @@ void NetRecord::absorb_one(CustomCause cause, proto::ResetAction action,
   table_[cause][action] += count;
 }
 
+std::vector<SimRecordStore::Entry> NetRecord::export_entries() const {
+  std::vector<SimRecordStore::Entry> out;
+  for (const auto& [cause, actions] : table_) {
+    for (const auto& [action, count] : actions) {
+      out.push_back(SimRecordStore::Entry{cause, action, count});
+    }
+  }
+  return out;
+}
+
 std::uint32_t NetRecord::record_count(CustomCause cause) const {
   const auto it = table_.find(cause);
   if (it == table_.end()) return 0;

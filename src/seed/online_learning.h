@@ -79,6 +79,11 @@ class NetRecord {
 
   std::size_t known_causes() const { return table_.size(); }
 
+  /// Flattened (cause, action, count) view of the whole model, in
+  /// deterministic key order. Fleet waves diff two exports to find the
+  /// records a shard contributed on top of its starting snapshot.
+  std::vector<SimRecordStore::Entry> export_entries() const;
+
  private:
   double lr_;
   std::map<CustomCause, std::map<proto::ResetAction, std::uint32_t>> table_;

@@ -1,0 +1,114 @@
+#include "simcore/fleet_runner.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace seed::sim {
+
+std::uint64_t shard_seed(std::uint64_t base_seed, std::uint64_t shard) {
+  // splitmix64 finalizer over base ^ shard: adjacent shard indices map to
+  // statistically independent streams.
+  std::uint64_t z = (base_seed ^ shard) + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+FleetRunner::FleetRunner(std::size_t threads, std::uint64_t base_seed)
+    : threads_(threads), base_seed_(base_seed) {
+  if (threads_ == 0) {
+    threads_ = std::thread::hardware_concurrency();
+    if (threads_ == 0) threads_ = 1;
+  }
+}
+
+namespace {
+
+/// One worker's shard queue. A worker pops its own front (cache-friendly
+/// for the statically dealt run) while thieves take the back.
+struct WorkQueue {
+  std::mutex mu;
+  std::deque<std::size_t> shards;
+
+  bool pop_front(std::size_t& out) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (shards.empty()) return false;
+    out = shards.front();
+    shards.pop_front();
+    return true;
+  }
+  bool steal_back(std::size_t& out) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (shards.empty()) return false;
+    out = shards.back();
+    shards.pop_back();
+    return true;
+  }
+};
+
+}  // namespace
+
+void FleetRunner::run(
+    std::size_t shards,
+    const std::function<void(const ShardInfo&)>& body) const {
+  if (shards == 0) return;
+  const std::size_t n = threads_ < shards ? threads_ : shards;
+
+  std::vector<WorkQueue> queues(n);
+  for (std::size_t s = 0; s < shards; ++s) {
+    queues[s % n].shards.push_back(s);
+  }
+
+  std::atomic<bool> abort{false};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+
+  auto worker = [&, this](std::size_t w) {
+    std::size_t shard;
+    for (;;) {
+      if (abort.load(std::memory_order_relaxed)) return;
+      bool got = queues[w].pop_front(shard);
+      for (std::size_t k = 1; !got && k < n; ++k) {
+        got = queues[(w + k) % n].steal_back(shard);
+      }
+      // All work is enqueued before the pool starts, so a full empty scan
+      // means nothing is left to claim.
+      if (!got) return;
+      ShardInfo info;
+      info.index = shard;
+      info.total = shards;
+      info.seed = shard_seed(base_seed_, shard);
+      info.worker = w;
+      try {
+        body(info);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(error_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+        abort.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(n);
+  for (std::size_t w = 0; w < n; ++w) pool.emplace_back(worker, w);
+  for (std::thread& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+std::size_t fleet_threads_from_env(std::size_t fallback) {
+  if (const char* env = std::getenv("SEED_FLEET_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return fallback;
+}
+
+}  // namespace seed::sim

@@ -13,7 +13,9 @@ std::string format_time(TimePoint t) {
 }
 
 Logger& Logger::instance() {
-  static Logger logger;
+  // Thread-local: each fleet-runner worker owns an isolated logger (level,
+  // clock, sink), so parallel shards never race on logging state.
+  static thread_local Logger logger;
   return logger;
 }
 

@@ -1,48 +1,86 @@
 #include "simcore/simulator.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace seed::sim {
 
 TimerId Simulator::schedule_at(TimePoint t, Callback cb) {
   if (t < now_) t = now_;
-  const TimerId id = next_id_++;
-  queue_.push(Entry{t, seq_++, id});
-  live_.insert(id);
-  callbacks_.emplace(id, std::move(cb));
-  return id;
+  std::uint32_t slot;
+  if (!free_.empty()) {
+    slot = free_.back();
+    free_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slab_.size());
+    slab_.emplace_back();
+  }
+  Slot& s = slab_[slot];
+  s.cb = std::move(cb);
+  s.at = t;
+  s.seq = seq_++;
+  s.live = true;
+  heap_.push_back(HeapKey{t, s.seq, slot});
+  std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  ++live_count_;
+  return make_id(s.gen, slot);
 }
 
 bool Simulator::cancel(TimerId id) {
-  const auto it = live_.find(id);
-  if (it == live_.end()) return false;
-  live_.erase(it);
-  callbacks_.erase(id);
+  const Slot* s = lookup(id);
+  if (!s) return false;
+  // The heap key stays behind as a tombstone (its seq no longer matches
+  // any live slot) and is dropped lazily at pop/peek.
+  release(static_cast<std::uint32_t>(id) - 1);
+  ++dead_in_heap_;
+  maybe_compact_heap();
   return true;
 }
 
-bool Simulator::pop_one() {
-  while (!queue_.empty()) {
-    Entry e = queue_.top();
-    queue_.pop();
-    const auto it = live_.find(e.id);
-    if (it == live_.end()) continue;  // cancelled tombstone
-    live_.erase(it);
-    auto cb_it = callbacks_.find(e.id);
-    Callback cb = std::move(cb_it->second);
-    callbacks_.erase(cb_it);
-    now_ = e.at;
-    ++processed_;
-    if (processed_ > budget_) {
-      throw std::runtime_error("Simulator: event budget exhausted");
-    }
-    if (probe_ && processed_ % probe_every_ == 0) {
-      probe_(live_.size(), processed_);
-    }
-    cb();
-    return true;
+void Simulator::maybe_compact_heap() {
+  if (heap_.size() < 64 || dead_in_heap_ * 2 <= heap_.size()) return;
+  std::erase_if(heap_, [this](const HeapKey& k) {
+    const Slot& s = slab_[k.slot];
+    return !s.live || s.seq != k.seq;
+  });
+  std::make_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  dead_in_heap_ = 0;
+}
+
+bool Simulator::drop_dead_tops() {
+  while (!heap_.empty()) {
+    const HeapKey& top = heap_.front();
+    const Slot& s = slab_[top.slot];
+    if (s.live && s.seq == top.seq) return true;
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    heap_.pop_back();
+    --dead_in_heap_;
   }
   return false;
+}
+
+std::optional<TimePoint> Simulator::peek_next_live_time() {
+  if (!drop_dead_tops()) return std::nullopt;
+  return heap_.front().at;
+}
+
+bool Simulator::pop_one() {
+  if (!drop_dead_tops()) return false;
+  const HeapKey top = heap_.front();
+  std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  heap_.pop_back();
+  Callback cb = std::move(slab_[top.slot].cb);
+  release(top.slot);
+  now_ = top.at;
+  ++processed_;
+  if (processed_ > budget_) {
+    throw std::runtime_error("Simulator: event budget exhausted");
+  }
+  if (probe_ && processed_ % probe_every_ == 0) {
+    probe_(live_count_, processed_);
+  }
+  cb();
+  return true;
 }
 
 void Simulator::run() {
@@ -53,10 +91,9 @@ void Simulator::run() {
 
 void Simulator::run_until(TimePoint t) {
   stopped_ = false;
-  while (!stopped_ && !queue_.empty()) {
-    // Peek past tombstones to find the next live event time.
-    while (!queue_.empty() && !live_.contains(queue_.top().id)) queue_.pop();
-    if (queue_.empty() || queue_.top().at > t) break;
+  while (!stopped_) {
+    const auto next = peek_next_live_time();
+    if (!next || *next > t) break;
     pop_one();
   }
   if (now_ < t) now_ = t;

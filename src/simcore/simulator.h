@@ -3,20 +3,32 @@
 // Events are closures ordered by (time, insertion sequence); ties execute
 // in FIFO order, which keeps every experiment deterministic for a fixed
 // RNG seed. Timers are cancellable via the TimerId returned at schedule
-// time; cancellation is O(1) (a tombstone set checked at pop).
+// time.
+//
+// Hot-path layout: timer entries live in a slab (a vector of slots
+// recycled through a free list) with the callback stored inline, and the
+// run queue is a binary heap of (time, seq, slot) keys. A TimerId packs
+// the slot index with a generation tag that is bumped every time the slot
+// is released, so `cancel`/`pending` are O(1) array probes with no
+// hashing and stale handles to a recycled slot can never alias a newer
+// timer. Cancellation leaves a tombstone key in the heap; tombstones are
+// skipped lazily at pop/peek time (a key is dead when its seq no longer
+// matches the slot's), and once they outnumber live keys the heap is
+// compacted in one O(n) sweep.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_map>
-#include <unordered_set>
+#include <optional>
 #include <vector>
 
 #include "simcore/time.h"
 
 namespace seed::sim {
 
+/// Packed timer handle: low 32 bits hold the slab slot index + 1 (so the
+/// zero id stays invalid), high 32 bits hold the slot's generation at
+/// allocation time.
 using TimerId = std::uint64_t;
 inline constexpr TimerId kInvalidTimer = 0;
 
@@ -44,7 +56,7 @@ class Simulator {
   bool cancel(TimerId id);
 
   /// True if `id` is still pending.
-  bool pending(TimerId id) const { return live_.contains(id); }
+  bool pending(TimerId id) const { return lookup(id) != nullptr; }
 
   /// Runs until the queue drains, `stop()` is called, or the event budget
   /// (default: effectively unlimited) is exhausted.
@@ -58,7 +70,12 @@ class Simulator {
   /// Stops the run loop after the current event returns.
   void stop() { stopped_ = true; }
 
-  std::size_t queued() const { return live_.size(); }
+  /// Time of the next live (non-cancelled) event, or nullopt if the queue
+  /// is empty. Drops any tombstoned heap tops it walks past, so repeated
+  /// calls are amortized O(1).
+  std::optional<TimePoint> peek_next_live_time();
+
+  std::size_t queued() const { return live_count_; }
   std::uint64_t events_processed() const { return processed_; }
 
   /// Guard against runaway simulations; run() throws std::runtime_error
@@ -76,33 +93,87 @@ class Simulator {
   }
 
  private:
-  struct Entry {
+  struct Slot {
+    Callback cb;
+    TimePoint at = kTimeZero;
+    std::uint64_t seq = 0;       // schedule sequence; globally unique
+    std::uint32_t gen = 0;       // bumped on release; part of the TimerId
+    bool live = false;
+  };
+
+  /// Heap key. `seq` both breaks time ties FIFO and identifies the slab
+  /// entry this key was minted for: a mismatch means the slot was
+  /// cancelled (and possibly recycled), i.e. the key is a tombstone.
+  struct HeapKey {
     TimePoint at;
     std::uint64_t seq;
-    TimerId id;
-    bool operator>(const Entry& o) const {
+    std::uint32_t slot;
+    bool operator>(const HeapKey& o) const {
       if (at != o.at) return at > o.at;
       return seq > o.seq;
     }
   };
 
+  static TimerId make_id(std::uint32_t gen, std::uint32_t slot) {
+    return (static_cast<TimerId>(gen) << 32) |
+           (static_cast<TimerId>(slot) + 1);
+  }
+
+  /// Resolves an id to its live slot, or nullptr when the id is invalid,
+  /// already fired/cancelled, or stale (generation mismatch after reuse).
+  const Slot* lookup(TimerId id) const {
+    const std::uint32_t lo = static_cast<std::uint32_t>(id);
+    if (lo == 0) return nullptr;
+    const std::uint32_t slot = lo - 1;
+    if (slot >= slab_.size()) return nullptr;
+    const Slot& s = slab_[slot];
+    if (!s.live || s.gen != static_cast<std::uint32_t>(id >> 32)) {
+      return nullptr;
+    }
+    return &s;
+  }
+
+  /// Marks the slot dead and recyclable; the generation bump invalidates
+  /// every outstanding TimerId minted for it.
+  void release(std::uint32_t slot) {
+    Slot& s = slab_[slot];
+    s.live = false;
+    s.cb = nullptr;
+    ++s.gen;
+    free_.push_back(slot);
+    --live_count_;
+  }
+
+  /// Pops tombstoned keys off the heap top; true when a live key remains.
+  bool drop_dead_tops();
+
+  /// Rebuilds the heap without its tombstones once they outnumber the
+  /// live keys. One O(n) sweep replaces up to n/2 future O(log n)
+  /// tombstone pops and halves the heap every subsequent operation works
+  /// on; pop order is unaffected because keys are totally ordered by
+  /// (at, seq).
+  void maybe_compact_heap();
+
   bool pop_one();  // executes the next live event; false if none
 
   TimePoint now_ = kTimeZero;
   std::uint64_t seq_ = 0;
-  TimerId next_id_ = 1;
   bool stopped_ = false;
   std::uint64_t processed_ = 0;
   std::uint64_t budget_ = 500'000'000;
   Probe probe_;
   std::uint64_t probe_every_ = 2048;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
-  std::unordered_set<TimerId> live_;
-  std::unordered_map<TimerId, Callback> callbacks_;
+  std::vector<Slot> slab_;
+  std::vector<std::uint32_t> free_;  // recyclable slot indices (LIFO)
+  std::vector<HeapKey> heap_;        // binary min-heap on (at, seq)
+  std::size_t live_count_ = 0;
+  std::size_t dead_in_heap_ = 0;     // tombstone keys still in heap_
 };
 
 /// RAII one-shot timer bound to an owner's lifetime: cancels on destruction
 /// and on re-arm. Use for protocol timers (T3511, ...) owned by an FSM.
+/// The generation tag inside TimerId keeps `armed()`/`cancel()` correct
+/// even after the underlying slab slot has been recycled by later timers.
 class Timer {
  public:
   explicit Timer(Simulator& sim) : sim_(&sim) {}
