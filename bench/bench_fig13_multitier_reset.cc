@@ -157,7 +157,7 @@ int main() {
     a2a1.add(time_action(kSeed + 40 + i, device::Scheme::kSeedU,
                          [](Testbed& tb, modem::ModemControl::Done done) {
                            tb.dev().modem().update_cplane_config(
-                               nas::PlmnId{310, 310});
+                               nas::PlmnId{310, 310}, {});
                            tb.dev().modem().refresh_profile(std::move(done));
                          }));
   }

@@ -1,0 +1,124 @@
+#include "chaos/chaos.h"
+
+#include "obs/trace.h"
+#include "simcore/fleet_runner.h"
+
+namespace seed::chaos {
+
+std::string_view point_name(Point p) {
+  switch (p) {
+    case Point::kDownlinkDrop: return "downlink-drop";
+    case Point::kDownlinkDup: return "downlink-dup";
+    case Point::kDownlinkCorrupt: return "downlink-corrupt";
+    case Point::kUplinkDrop: return "uplink-drop";
+    case Point::kUplinkDup: return "uplink-dup";
+    case Point::kUplinkCorrupt: return "uplink-corrupt";
+    case Point::kResetOutcome: return "reset-outcome";
+    case Point::kAppletCrash: return "applet-crash";
+    case Point::kCount: break;
+  }
+  return "invalid";
+}
+
+ChaosEngine::ChaosEngine(const ChaosConfig& config, std::uint64_t seed)
+    : config_(config),
+      seed_(seed),
+      streams_{
+          sim::Rng(sim::shard_seed(seed, 0)), sim::Rng(sim::shard_seed(seed, 1)),
+          sim::Rng(sim::shard_seed(seed, 2)), sim::Rng(sim::shard_seed(seed, 3)),
+          sim::Rng(sim::shard_seed(seed, 4)), sim::Rng(sim::shard_seed(seed, 5)),
+          sim::Rng(sim::shard_seed(seed, 6)), sim::Rng(sim::shard_seed(seed, 7)),
+      } {}
+
+bool ChaosEngine::roll(Point point, double p) {
+  if (p <= 0.0) return false;
+  return stream(point).chance(p);
+}
+
+void ChaosEngine::note(Point point) {
+  obs::emit_chaos_injected(static_cast<std::uint8_t>(point));
+}
+
+bool ChaosEngine::drop_downlink() {
+  if (!roll(Point::kDownlinkDrop, config_.downlink_drop)) return false;
+  ++stats_.downlink_dropped;
+  note(Point::kDownlinkDrop);
+  return true;
+}
+
+bool ChaosEngine::duplicate_downlink() {
+  if (!roll(Point::kDownlinkDup, config_.downlink_dup)) return false;
+  ++stats_.downlink_duplicated;
+  note(Point::kDownlinkDup);
+  return true;
+}
+
+bool ChaosEngine::corrupt_downlink(BitFlip* flip) {
+  if (!roll(Point::kDownlinkCorrupt, config_.downlink_corrupt)) return false;
+  sim::Rng& s = stream(Point::kDownlinkCorrupt);
+  flip->byte = s.next();
+  flip->bit = static_cast<std::uint8_t>(s.next() & 7);
+  ++stats_.downlink_corrupted;
+  note(Point::kDownlinkCorrupt);
+  return true;
+}
+
+bool ChaosEngine::drop_uplink() {
+  if (!roll(Point::kUplinkDrop, config_.uplink_drop)) return false;
+  ++stats_.uplink_dropped;
+  note(Point::kUplinkDrop);
+  return true;
+}
+
+bool ChaosEngine::duplicate_uplink() {
+  if (!roll(Point::kUplinkDup, config_.uplink_dup)) return false;
+  ++stats_.uplink_duplicated;
+  note(Point::kUplinkDup);
+  return true;
+}
+
+bool ChaosEngine::corrupt_uplink(BitFlip* flip) {
+  if (!roll(Point::kUplinkCorrupt, config_.uplink_corrupt)) return false;
+  sim::Rng& s = stream(Point::kUplinkCorrupt);
+  flip->byte = s.next();
+  flip->bit = static_cast<std::uint8_t>(s.next() & 7);
+  ++stats_.uplink_corrupted;
+  note(Point::kUplinkCorrupt);
+  return true;
+}
+
+ResetOutcome ChaosEngine::reset_outcome(std::uint8_t action) {
+  // A per-action override pins the outcome regardless of the AT knobs.
+  const double pinned =
+      action < config_.action_fail.size() ? config_.action_fail[action] : 0.0;
+  if (pinned > 0.0) {
+    if (roll(Point::kResetOutcome, pinned)) {
+      ++stats_.resets_failed;
+      note(Point::kResetOutcome);
+      return ResetOutcome::kFail;
+    }
+    return ResetOutcome::kNormal;
+  }
+  // The AT knobs cover the B-tier commands (CFUN/CGATT/CGACT, codes 4-6).
+  if (action < 4 || action > 6) return ResetOutcome::kNormal;
+  if (roll(Point::kResetOutcome, config_.at_fail)) {
+    ++stats_.resets_failed;
+    note(Point::kResetOutcome);
+    return ResetOutcome::kFail;
+  }
+  if (roll(Point::kResetOutcome, config_.at_timeout)) {
+    ++stats_.resets_timed_out;
+    note(Point::kResetOutcome);
+    return ResetOutcome::kTimeout;
+  }
+  return ResetOutcome::kNormal;
+}
+
+bool ChaosEngine::crash_applet() {
+  if (!roll(Point::kAppletCrash, config_.applet_crash)) return false;
+  ++stats_.applet_crashes;
+  note(Point::kAppletCrash);
+  return true;
+}
+
+}  // namespace seed::chaos

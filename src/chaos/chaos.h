@@ -1,0 +1,153 @@
+// Deterministic fault injection for SEED's *own* recovery machinery.
+//
+// The testbed's corenet::Faults injects the paper's network failures;
+// this layer impairs the recovery path itself: the §4.5 collaboration
+// channel (drop/duplicate/corrupt downlink AUTN fragments and uplink
+// DIAG-DNN fragments), the Table 3 reset actions (AT commands that fail
+// or time out), and the SIM applet (crash/restart mid-handling, declared
+// dead after repeated crashes).
+//
+// Determinism: every injection point owns its own RNG stream derived
+// from the engine seed with the same splitmix64 finalizer the fleet
+// runner uses for shard seeds (sim::shard_seed). A point whose
+// probability is zero never draws, so an engine with an all-zero config
+// — or no engine at all — leaves every shared RNG sequence untouched
+// and fleet runs stay byte-reproducible per seed.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "simcore/rng.h"
+#include "simcore/time.h"
+
+namespace seed::chaos {
+
+struct ChaosConfig {
+  // ----- collaboration channel, downlink (core -> SIM AUTN fragments)
+  double downlink_drop = 0.0;     // fragment lost before the SIM sees it
+  double downlink_dup = 0.0;      // fragment delivered (and ACKed) twice
+  double downlink_corrupt = 0.0;  // one bit flipped in the AUTN field
+
+  // ----- collaboration channel, uplink (DIAG-DNN report fragments)
+  double uplink_drop = 0.0;       // PDU request lost on the air
+  double uplink_dup = 0.0;        // PDU request delivered twice
+  double uplink_corrupt = 0.0;    // one bit flipped in a payload label
+
+  // ----- reset-action execution (AT+CFUN / CGATT / CGACT, B-tier)
+  double at_fail = 0.0;           // command returns ERROR
+  double at_timeout = 0.0;        // command never completes
+  sim::Duration at_fail_latency = sim::ms(300);
+
+  /// Per-action failure override, indexed by the proto::ResetAction code
+  /// (1..6 = A1,A2,A3,B1,B2,B3). Takes precedence over at_fail /
+  /// at_timeout when non-zero; this is how a test pins "A2 always
+  /// fails".
+  std::array<double, 8> action_fail{};
+
+  // ----- SIM applet
+  double applet_crash = 0.0;      // crash while handling a diagnosis
+  sim::Duration applet_restart_time = sim::seconds(2);
+  /// Crashes before the applet is declared dead (device degrades to
+  /// legacy handling).
+  int applet_max_crashes = 3;
+
+  bool any() const {
+    if (downlink_drop > 0 || downlink_dup > 0 || downlink_corrupt > 0 ||
+        uplink_drop > 0 || uplink_dup > 0 || uplink_corrupt > 0 ||
+        at_fail > 0 || at_timeout > 0 || applet_crash > 0) {
+      return true;
+    }
+    for (double p : action_fail) {
+      if (p > 0) return true;
+    }
+    return false;
+  }
+};
+
+/// Injection decision points; each owns an independent RNG stream so
+/// enabling one impairment never shifts another's sequence.
+enum class Point : std::uint8_t {
+  kDownlinkDrop = 0,
+  kDownlinkDup,
+  kDownlinkCorrupt,
+  kUplinkDrop,
+  kUplinkDup,
+  kUplinkCorrupt,
+  kResetOutcome,
+  kAppletCrash,
+  kCount,
+};
+
+std::string_view point_name(Point p);
+
+struct ChaosStats {
+  std::uint64_t downlink_dropped = 0;
+  std::uint64_t downlink_duplicated = 0;
+  std::uint64_t downlink_corrupted = 0;
+  std::uint64_t uplink_dropped = 0;
+  std::uint64_t uplink_duplicated = 0;
+  std::uint64_t uplink_corrupted = 0;
+  std::uint64_t resets_failed = 0;
+  std::uint64_t resets_timed_out = 0;
+  std::uint64_t applet_crashes = 0;
+  std::uint64_t total() const {
+    return downlink_dropped + downlink_duplicated + downlink_corrupted +
+           uplink_dropped + uplink_duplicated + uplink_corrupted +
+           resets_failed + resets_timed_out + applet_crashes;
+  }
+};
+
+/// A single-bit corruption: the caller applies it as
+/// `buf[byte % buf.size()] ^= (1u << bit)`.
+struct BitFlip {
+  std::uint64_t byte = 0;  // raw draw; reduce modulo the buffer size
+  std::uint8_t bit = 0;    // 0..7
+};
+
+enum class ResetOutcome : std::uint8_t { kNormal, kFail, kTimeout };
+
+class ChaosEngine {
+ public:
+  ChaosEngine(const ChaosConfig& config, std::uint64_t seed);
+
+  const ChaosConfig& config() const { return config_; }
+  const ChaosStats& stats() const { return stats_; }
+  std::uint64_t seed() const { return seed_; }
+
+  // ----- downlink AUTN fragment (modem -> SIM APDU boundary)
+  bool drop_downlink();
+  bool duplicate_downlink();
+  /// Returns the flip to apply to the 16-byte AUTN field, or nothing.
+  bool corrupt_downlink(BitFlip* flip);
+
+  // ----- uplink DIAG-DNN fragment (modem -> core)
+  bool drop_uplink();
+  bool duplicate_uplink();
+  /// Returns the flip to apply to the fragment's payload bytes.
+  bool corrupt_uplink(BitFlip* flip);
+
+  // ----- reset actions (action = proto::ResetAction code 1..6)
+  ResetOutcome reset_outcome(std::uint8_t action);
+
+  // ----- applet
+  bool crash_applet();
+
+ private:
+  /// Bernoulli draw from the point's private stream; never draws when
+  /// `p <= 0`, so disabled impairments consume nothing.
+  bool roll(Point point, double p);
+  sim::Rng& stream(Point point) {
+    return streams_[static_cast<std::size_t>(point)];
+  }
+  void note(Point point);
+
+  ChaosConfig config_;
+  std::uint64_t seed_;
+  std::array<sim::Rng, static_cast<std::size_t>(Point::kCount)> streams_;
+  ChaosStats stats_;
+};
+
+}  // namespace seed::chaos

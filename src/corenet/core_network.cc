@@ -20,7 +20,7 @@ std::uint8_t sm(SmCause c) { return static_cast<std::uint8_t>(c); }
 
 CoreNetwork::CoreNetwork(sim::Simulator& sim, sim::Rng& rng, SubscriberDb& db,
                          ran::Gnb& gnb, metrics::CpuMeter& cpu)
-    : sim_(sim), rng_(rng), db_(db), gnb_(gnb), cpu_(cpu) {}
+    : sim_(sim), rng_(rng), db_(db), gnb_(gnb), cpu_(cpu), frag_guard_(sim) {}
 
 void CoreNetwork::attach_device(const std::string& supi,
                                 std::function<void(Bytes)> downlink) {
@@ -218,8 +218,15 @@ void CoreNetwork::complete_registration() {
 
 void CoreNetwork::handle_auth_failure(const nas::AuthenticationFailure& m) {
   if (m.cause == mm(MmCause::kSynchFailure) && next_frag_ > 0) {
-    // SEED downlink ACK for the previous fragment (Fig. 7a).
-    send_diag_fragments();
+    // SEED downlink ACK for the previous fragment (Fig. 7a). A duplicated
+    // fragment (impaired channel) earns two ACKs; only the first may
+    // advance the transfer or the core would skip fragments.
+    if (frag_outstanding_) {
+      frag_outstanding_ = false;
+      frag_retries_ = 0;
+      frag_guard_.cancel();
+      send_diag_fragments();
+    }
     return;
   }
   // Genuine synch failure: restart authentication with a fresh vector.
@@ -557,6 +564,9 @@ void CoreNetwork::assist(const core::FailureEvent& event) {
                       << int(advice.diag->cause) << ", "
                       << pending_frags_.size() << " AUTN fragment(s))";
   next_frag_ = 0;
+  frag_outstanding_ = false;
+  frag_retries_ = 0;
+  frag_guard_.cancel();
   diag_prep_start_ = sim_.now();
   // Downlink prep latency (metric collection + encode + crypto), Fig. 12.
   const auto prep = sim::secs_f(rng_.lognormal_median(
@@ -585,11 +595,37 @@ void CoreNetwork::send_diag_fragments() {
   req.ngksi = 0;
   req.rand = proto::kDFlag;
   req.autn = pending_frags_[next_frag_++];
+  frag_outstanding_ = true;
   send(nas::NasMessage(req));
-  if (next_frag_ >= pending_frags_.size()) {
-    // Last fragment: once ACKed the transfer is complete; clear on the
-    // next synch-failure ACK via handle_auth_failure -> send_diag_fragments.
+  if (chaos_ != nullptr) {
+    // Impaired channel: the fragment (or its ACK) may be lost; retransmit
+    // if the synch-failure ACK does not arrive in time.
+    frag_guard_.arm(params::kDiagFragAckGuard, [this] { on_frag_guard(); });
   }
+  // Last fragment: once ACKed the transfer is complete; cleared on the
+  // next synch-failure ACK via handle_auth_failure -> send_diag_fragments.
+}
+
+void CoreNetwork::on_frag_guard() {
+  if (pending_frags_.empty() || !frag_outstanding_) return;
+  if (++frag_retries_ > params::kDiagFragMaxRetries) {
+    SLOG(kWarn, "core") << "assistance downlink abandoned (fragment "
+                        << next_frag_ << "/" << pending_frags_.size()
+                        << " unacked after " << params::kDiagFragMaxRetries
+                        << " retries)";
+    obs::count("core.diag_downlink_abandoned");
+    pending_frags_.clear();
+    next_frag_ = 0;
+    frag_outstanding_ = false;
+    frag_retries_ = 0;
+    return;
+  }
+  nas::AuthenticationRequest req;
+  req.ngksi = 0;
+  req.rand = proto::kDFlag;
+  req.autn = pending_frags_[next_frag_ - 1];
+  send(nas::NasMessage(req));
+  frag_guard_.arm(params::kDiagFragAckGuard, [this] { on_frag_guard(); });
 }
 
 void CoreNetwork::handle_diag_report(const proto::FailureReport& report,

@@ -31,6 +31,12 @@
 #include "simcore/rng.h"
 #include "simcore/simulator.h"
 
+namespace seed {
+namespace chaos {
+class ChaosEngine;
+}  // namespace chaos
+}  // namespace seed
+
 namespace seed::corenet {
 
 /// Injectable failure conditions (per subscriber). Config-related faults
@@ -100,6 +106,11 @@ class CoreNetwork {
 
   /// Enables the SEED plugin (diagnosis assistance + report handling).
   void enable_seed(bool on) { seed_enabled_ = on; }
+  /// Impaired-channel mode (testbed chaos): arms an ack-guard that
+  /// retransmits downlink diag fragments whose synch-failure ACK never
+  /// arrives. With no engine the guard is never armed and the downlink
+  /// event sequence matches the unimpaired core exactly.
+  void set_chaos(chaos::ChaosEngine* chaos) { chaos_ = chaos; }
   /// Online learner shared across the operator's network (§5.3).
   void set_learner(core::NetRecord* learner) { learner_ = learner; }
 
@@ -162,6 +173,7 @@ class CoreNetwork {
   // SEED plugin
   void assist(const core::FailureEvent& event);
   void send_diag_fragments();
+  void on_frag_guard();
   void handle_diag_report(const proto::FailureReport& report,
                           const nas::SmHeader& hdr);
 
@@ -203,9 +215,15 @@ class CoreNetwork {
   std::optional<crypto::SecurityContext> seed_ctx_;
   std::vector<std::array<std::uint8_t, 16>> pending_frags_;
   std::size_t next_frag_ = 0;
+  /// True while the latest fragment awaits its synch-failure ACK; a
+  /// duplicated fragment earns two ACKs and only the first advances.
+  bool frag_outstanding_ = false;
+  int frag_retries_ = 0;
   sim::TimePoint diag_prep_start_{};
   sim::TimePoint diag_send_start_{};
   proto::DiagDnnCodec::Reassembler report_reassembler_;
+  chaos::ChaosEngine* chaos_ = nullptr;
+  sim::Timer frag_guard_;  // armed only when a chaos engine is attached
 
   // UPF / faults
   Faults faults_;

@@ -53,7 +53,15 @@ Device::Device(sim::Simulator& sim, sim::Rng& rng, ran::Gnb& gnb,
   modem_->set_data_state_handler([this](bool up) {
     SLOG(kDebug, "device") << "data connectivity "
                            << (up ? "restored" : "lost");
-    if (up) applet_->notify_recovered();
+    if (up) {
+      applet_->notify_recovered();
+      if (watchdog_) {
+        watchdog_->cancel();
+        watchdog_refires_ = 0;
+      }
+    } else {
+      arm_watchdog();
+    }
   });
 
   android_->set_retry_timers(options.retry_timers);
@@ -67,6 +75,7 @@ Device::Device(sim::Simulator& sim, sim::Rng& rng, ran::Gnb& gnb,
       // OS-level detection (captive-portal / TCP / DNS heuristics): the
       // data-plane failure becomes visible to the SEED report path here.
       obs::emit_failure_detected(obs::Origin::kOs, 1, 0);
+      arm_watchdog();
       carrier_->on_data_stall();
     });
   }
@@ -75,6 +84,55 @@ Device::Device(sim::Simulator& sim, sim::Rng& rng, ran::Gnb& gnb,
 void Device::power_on() {
   modem_->power_on();
   android_->start();
+}
+
+void Device::enable_recovery_watchdog(const WatchdogConfig& cfg) {
+  watchdog_cfg_ = cfg;
+  if (!watchdog_) watchdog_ = std::make_unique<sim::Timer>(sim_);
+  applet_->set_death_notifier([this] { degrade_to_legacy(); });
+}
+
+void Device::arm_watchdog() {
+  if (!watchdog_cfg_ || degraded_ || watchdog_->armed()) return;
+  watchdog_->arm(watchdog_cfg_->deadline, [this] { on_watchdog(); });
+}
+
+void Device::on_watchdog() {
+  if (traffic_->path_healthy()) {
+    watchdog_refires_ = 0;
+    return;
+  }
+  SLOG(kWarn, "device") << "recovery watchdog fired (refire "
+                        << watchdog_refires_ << ")";
+  obs::emit_watchdog_fired(static_cast<std::uint8_t>(watchdog_refires_));
+  obs::count("seed.watchdog_fired");
+  if (applet_->dead() || watchdog_refires_ >= watchdog_cfg_->max_refires) {
+    degrade_to_legacy();
+    return;
+  }
+  ++watchdog_refires_;
+  // Re-announce the stall: the SEED report path gets another shot with
+  // whatever state the applet has now (fresh config, escalated tier...).
+  carrier_->on_data_stall();
+  auto deadline = watchdog_cfg_->deadline;
+  for (int i = 0; i < watchdog_refires_; ++i) {
+    deadline = sim::secs_f(sim::to_seconds(deadline) * watchdog_cfg_->factor);
+  }
+  watchdog_->arm(deadline, [this] { on_watchdog(); });
+}
+
+void Device::degrade_to_legacy() {
+  if (degraded_) return;
+  degraded_ = true;
+  if (watchdog_) watchdog_->cancel();
+  SLOG(kWarn, "device") << "SEED path unusable, degrading to legacy "
+                           "sequential retry";
+  obs::emit_degraded(obs::Origin::kOs);
+  obs::count("seed.degradations");
+  android_->set_sequential_retry_enabled(true);
+  // If the path is still broken, restart the recovery under the legacy
+  // scheme immediately instead of waiting for the next detection pass.
+  if (!traffic_->path_healthy()) android_->force_stall();
 }
 
 apps::App& Device::add_app(const apps::AppSpec& spec) {

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -59,6 +60,22 @@ class Device {
   Scheme scheme() const { return options_.scheme; }
   std::uint64_t user_notifications() const { return user_notifications_; }
 
+  /// Recovery watchdog (chaos hardening): when a handled failure has not
+  /// reached service-healthy by the deadline, the failure is re-announced
+  /// to the SIM; the deadline grows by `factor` per refire. After
+  /// `max_refires` — or when the applet is declared dead — the device
+  /// degrades to Android's legacy sequential retry so an impaired SEED
+  /// path can never leave the device wedged.
+  struct WatchdogConfig {
+    sim::Duration deadline = sim::seconds(45);
+    double factor = 1.5;
+    int max_refires = 4;
+  };
+  void enable_recovery_watchdog(const WatchdogConfig& cfg);
+  void enable_recovery_watchdog() { enable_recovery_watchdog(WatchdogConfig{}); }
+  bool degraded_to_legacy() const { return degraded_; }
+  int watchdog_refires() const { return watchdog_refires_; }
+
   /// Battery accounting: charges the baseline platform draw plus per-event
   /// SIM diagnosis energy every second (Fig. 11b model). Optional
   /// `mobileinsight` adds the diag-port decoder draw instead of SEED's.
@@ -66,6 +83,9 @@ class Device {
 
  private:
   void battery_tick();
+  void arm_watchdog();
+  void on_watchdog();
+  void degrade_to_legacy();
 
   sim::Simulator& sim_;
   sim::Rng& rng_;
@@ -78,6 +98,12 @@ class Device {
   std::unique_ptr<metrics::EnergyMeter> battery_;
   std::vector<std::unique_ptr<apps::App>> apps_;
   std::uint64_t user_notifications_ = 0;
+  // Recovery watchdog (only allocated/armed when enabled, so unhardened
+  // devices keep the event loop untouched).
+  std::optional<WatchdogConfig> watchdog_cfg_;
+  std::unique_ptr<sim::Timer> watchdog_;
+  int watchdog_refires_ = 0;
+  bool degraded_ = false;
   bool battery_running_ = false;
   bool battery_mobileinsight_ = false;
   std::uint64_t last_diag_count_ = 0;

@@ -2,9 +2,11 @@
 
 #include <array>
 
+#include "chaos/chaos.h"
 #include "common/params.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
+#include "seedproto/diag_payload.h"
 #include "simcore/log.h"
 
 namespace seed::modem {
@@ -33,6 +35,30 @@ ModemControl::Done trace_reset(std::uint8_t action, ModemControl::Done done) {
     if (done) done(ok);
   };
 }
+
+// Ack-guard for uplink DIAG-DNN fragments: only armed when a chaos engine
+// is attached (an unimpaired reject-ACK always arrives).
+constexpr sim::Duration kReportAckGuard = sim::seconds(2);
+constexpr int kMaxReportRetries = 5;
+
+// Flips one bit in the payload labels (1..) of a DIAG DNN fragment; the
+// header label stays intact so the fragment still routes to the SEED
+// plugin, whose MAC check must detect and discard the frame.
+nas::Dnn corrupt_diag_dnn(const nas::Dnn& dnn, const chaos::BitFlip& flip) {
+  std::vector<Bytes> labels = dnn.labels();
+  std::size_t payload = 0;
+  for (std::size_t i = 1; i < labels.size(); ++i) payload += labels[i].size();
+  if (payload == 0) return dnn;
+  std::size_t target = flip.byte % payload;
+  for (std::size_t i = 1; i < labels.size(); ++i) {
+    if (target < labels[i].size()) {
+      labels[i][target] ^= static_cast<std::uint8_t>(1u << flip.bit);
+      break;
+    }
+    target -= labels[i].size();
+  }
+  return nas::Dnn::from_labels(std::move(labels));
+}
 }  // namespace
 
 Modem::Modem(sim::Simulator& sim, sim::Rng& rng, SimCard& sim_card,
@@ -45,7 +71,8 @@ Modem::Modem(sim::Simulator& sim, sim::Rng& rng, SimCard& sim_card,
       t3510_(sim),
       t3511_(sim),
       t3502_(sim),
-      t3580_(sim) {}
+      t3580_(sim),
+      report_guard_(sim) {}
 
 SmState Modem::sm(std::uint8_t psi) const {
   const auto it = sessions_.find(psi);
@@ -286,6 +313,26 @@ void Modem::registration_settled(bool success) {
 // ------------------------------------------------------------------- auth
 
 void Modem::handle_auth_request(const nas::AuthenticationRequest& m) {
+  if (chaos_ != nullptr && proto::is_dflag(m.rand)) {
+    // Impaired collaboration channel: the downlink AUTN diag fragment may
+    // be lost (core's ack-guard retransmits), bit-flipped (the SIM's MAC
+    // check discards the frame), or delivered twice (the duplicate ACK is
+    // absorbed upstream and the reassembler ignores the re-send).
+    if (chaos_->drop_downlink()) return;
+    nas::AuthenticationRequest eff = m;
+    chaos::BitFlip flip;
+    if (chaos_->corrupt_downlink(&flip)) {
+      eff.autn[flip.byte % eff.autn.size()] ^=
+          static_cast<std::uint8_t>(1u << flip.bit);
+    }
+    deliver_auth(eff);
+    if (chaos_->duplicate_downlink()) deliver_auth(eff);
+    return;
+  }
+  deliver_auth(m);
+}
+
+void Modem::deliver_auth(const nas::AuthenticationRequest& m) {
   // Forward RAND/AUTN to the SIM over APDU (this is where the SEED applet
   // intercepts DFlag frames).
   sim_.schedule_after(params::kApduLatency, [this, m] {
@@ -392,6 +439,14 @@ void Modem::handle_pdu_reject(const nas::PduSessionEstablishmentReject& m) {
 
   // Uplink diagnosis report path: the reject is the ACK (Fig. 7b).
   if (psi == kDiagPsi && !pending_report_.empty()) {
+    if (chaos_ != nullptr) {
+      // A duplicated fragment earns two reject-ACKs; only the first may
+      // advance the transfer.
+      if (!report_outstanding_) return;
+      report_outstanding_ = false;
+      report_retries_ = 0;
+      report_guard_.cancel();
+    }
     send_diag_report({}, nullptr);  // advances / completes the transfer
     return;
   }
@@ -514,10 +569,36 @@ void Modem::on_downlink(BytesView wire) {
 
 // ------------------------------------------------- SEED ModemControl
 
+bool Modem::chaos_intercept(std::uint8_t action, Done& done) {
+  if (chaos_ == nullptr) return false;
+  switch (chaos_->reset_outcome(action)) {
+    case chaos::ResetOutcome::kNormal:
+      return false;
+    case chaos::ResetOutcome::kFail:
+      // The command returns ERROR after a short round trip and leaves the
+      // modem state untouched.
+      SLOG(kDebug, "modem") << "chaos: reset action " << int(action)
+                            << " returns ERROR";
+      sim_.schedule_after(chaos_->config().at_fail_latency,
+                          [done = std::move(done)] {
+                            if (done) done(false);
+                          });
+      return true;
+    case chaos::ResetOutcome::kTimeout:
+      // Swallowed entirely: only the applet's action deadline catches it.
+      SLOG(kDebug, "modem") << "chaos: reset action " << int(action)
+                            << " times out";
+      done = nullptr;
+      return true;
+  }
+  return false;
+}
+
 void Modem::refresh_profile(Done done) {
   ++stats_.profile_reloads;
   SLOG(kDebug, "modem") << "reset A1: SIM REFRESH, full re-attach";
   done = trace_reset(1, std::move(done));
+  if (chaos_intercept(1, done)) return;
   sim_.schedule_after(params::kProfileReloadTime, [this, done] {
     const SimProfile& p = sim_card_.profile();
     plmn_ = p.preferred_plmn;
@@ -542,16 +623,14 @@ void Modem::refresh_profile(Done done) {
   });
 }
 
-void Modem::update_cplane_config(const nas::PlmnId& plmn) {
+void Modem::update_cplane_config(const nas::PlmnId& plmn, Done done) {
   SLOG(kDebug, "modem") << "reset A2: c-plane config update";
-  obs::count("seed.reset.a2");
-  if (obs::enabled()) {
-    // Synchronous config write: the issue/complete pair collapses to one
-    // instant.
-    obs::emit_reset_issued(2);
-    obs::emit_reset_completed(2, true);
-  }
+  // Synchronous config write: the issue/complete pair collapses to one
+  // instant.
+  done = trace_reset(2, std::move(done));
+  if (chaos_intercept(2, done)) return;
   plmn_ = plmn;
+  if (done) done(true);
 }
 
 void Modem::update_slice(const nas::SNssai& snssai) {
@@ -562,6 +641,7 @@ void Modem::update_dplane_config(const std::string& dnn,
                                  std::optional<nas::Ipv4> dns, Done done) {
   SLOG(kDebug, "modem") << "reset A3: d-plane config update via carrier app";
   done = trace_reset(3, std::move(done));
+  if (chaos_intercept(3, done)) return;
   sim_.schedule_after(params::kCarrierConfigUpdateTime, [this, dnn, dns,
                                                          done] {
     if (!dnn.empty()) dnn_ = dnn;
@@ -601,6 +681,7 @@ void Modem::at_modem_reset(Done done) {
   ++stats_.at_commands;
   SLOG(kDebug, "modem") << "reset B1: AT+CFUN modem reset";
   done = trace_reset(4, std::move(done));
+  if (chaos_intercept(4, done)) return;
   mm_ = MmState::kIdle;
   sessions_.clear();
   have_guti_ = false;
@@ -631,6 +712,7 @@ void Modem::at_reattach(Done done) {
   ++stats_.at_commands;
   SLOG(kDebug, "modem") << "reset B2: AT+CGATT detach/attach";
   done = trace_reset(5, std::move(done));
+  if (chaos_intercept(5, done)) return;
   mm_ = MmState::kIdle;
   sessions_.clear();
   have_guti_ = false;
@@ -656,27 +738,73 @@ void Modem::send_diag_report(const std::vector<nas::Dnn>& dnns, Done done) {
     pending_report_ = dnns;
     next_report_ = 0;
     report_done_ = std::move(done);
+    report_retries_ = 0;
   }
   if (next_report_ >= pending_report_.size()) {
     // All fragments ACKed.
     pending_report_.clear();
     next_report_ = 0;
+    report_outstanding_ = false;
+    report_guard_.cancel();
     auto cb = std::move(report_done_);
     report_done_ = nullptr;
     if (cb) cb(true);
     return;
   }
+  transmit_report_fragment(next_report_++);
+}
+
+void Modem::transmit_report_fragment(std::size_t idx) {
+  if (chaos_ != nullptr) {
+    report_outstanding_ = true;
+    report_guard_.arm(kReportAckGuard,
+                      [this, idx] { on_report_guard(idx); });
+    if (chaos_->drop_uplink()) return;  // lost on the air; guard retransmits
+  }
   ++stats_.pdu_attempted;
   nas::PduSessionEstablishmentRequest req;
   req.hdr = {kDiagPsi, next_pti_++};
-  req.dnn = pending_report_[next_report_++];
+  req.dnn = pending_report_[idx];
+  bool duplicate = false;
+  if (chaos_ != nullptr) {
+    chaos::BitFlip flip;
+    if (chaos_->corrupt_uplink(&flip)) {
+      req.dnn = corrupt_diag_dnn(req.dnn, flip);
+    }
+    duplicate = chaos_->duplicate_uplink();
+  }
   send(nas::NasMessage(req));
+  if (duplicate) {
+    ++stats_.pdu_attempted;
+    req.hdr.pti = next_pti_++;
+    send(nas::NasMessage(req));
+  }
+}
+
+void Modem::on_report_guard(std::size_t idx) {
+  if (pending_report_.empty() || !report_outstanding_) return;
+  if (++report_retries_ > kMaxReportRetries) {
+    // Uplink collab channel unusable for this transfer: abort and let the
+    // applet fall back to a local plan.
+    SLOG(kWarn, "modem") << "diag report fragment " << idx
+                         << " unacked after " << kMaxReportRetries
+                         << " retries, aborting transfer";
+    pending_report_.clear();
+    next_report_ = 0;
+    report_outstanding_ = false;
+    auto cb = std::move(report_done_);
+    report_done_ = nullptr;
+    if (cb) cb(false);
+    return;
+  }
+  transmit_report_fragment(idx);
 }
 
 void Modem::at_dplane_modify(const std::string& dnn, Done done) {
   ++stats_.at_commands;
   SLOG(kDebug, "modem") << "reset B3: AT+CGDCONT d-plane modification";
   done = trace_reset(6, std::move(done));
+  if (chaos_intercept(6, done)) return;
   // AT+CGDCONT + context re-activation processing under root.
   if (!dnn.empty()) dnn_ = dnn;
   sim_.schedule_after(sim::ms(350), [this, done] {
@@ -700,6 +828,7 @@ void Modem::fast_dplane_reset(Done done) {
   ++stats_.at_commands;
   SLOG(kDebug, "modem") << "reset B3: fast d-plane reset (DIAG swap)";
   done = trace_reset(6, std::move(done));
+  if (chaos_intercept(6, done)) return;
   // Fig. 6: DIAG session up -> DATA released -> DATA re-established ->
   // DIAG released. The gNB keeps >= 1 bearer throughout, so no reattach.
   sim_.schedule_after(params::kFastDplaneResetOverhead, [this, done] {

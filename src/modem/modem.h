@@ -18,6 +18,10 @@
 #include "simcore/rng.h"
 #include "simcore/simulator.h"
 
+namespace seed::chaos {
+class ChaosEngine;
+}  // namespace seed::chaos
+
 namespace seed::modem {
 
 enum class MmState : std::uint8_t {
@@ -96,6 +100,9 @@ class Modem : public ModemControl {
   void set_modification_observer(std::function<void()> fn) {
     on_modification_ = std::move(fn);
   }
+  /// Chaos fault injection (testbed-only); with no engine attached every
+  /// path below is byte-identical to the unimpaired modem.
+  void set_chaos(chaos::ChaosEngine* chaos) { chaos_ = chaos; }
 
   // ----- network-facing
   void on_downlink(BytesView wire);
@@ -111,7 +118,7 @@ class Modem : public ModemControl {
 
   // ----- ModemControl (SEED multi-tier reset surface)
   void refresh_profile(Done done) override;
-  void update_cplane_config(const nas::PlmnId& plmn) override;
+  void update_cplane_config(const nas::PlmnId& plmn, Done done) override;
   void update_slice(const nas::SNssai& snssai) override;
   void update_dplane_config(const std::string& dnn,
                             std::optional<nas::Ipv4> dns, Done done) override;
@@ -156,6 +163,14 @@ class Modem : public ModemControl {
 
   // auth
   void handle_auth_request(const nas::AuthenticationRequest& m);
+  void deliver_auth(const nas::AuthenticationRequest& m);
+
+  // chaos hooks
+  /// True when the chaos engine swallowed or failed the reset action;
+  /// `done` is consumed (scheduled with false, or dropped on timeout).
+  bool chaos_intercept(std::uint8_t action, Done& done);
+  void transmit_report_fragment(std::size_t idx);
+  void on_report_guard(std::size_t idx);
 
   sim::Simulator& sim_;
   sim::Rng& rng_;
@@ -198,6 +213,13 @@ class Modem : public ModemControl {
   std::vector<nas::Dnn> pending_report_;
   std::size_t next_report_ = 0;
   Done report_done_;
+
+  // chaos (null outside impaired testbeds; the ack-guard timer is only
+  // armed when an engine is attached, so the event loop stays untouched)
+  chaos::ChaosEngine* chaos_ = nullptr;
+  sim::Timer report_guard_;
+  int report_retries_ = 0;
+  bool report_outstanding_ = false;
 };
 
 }  // namespace seed::modem

@@ -63,7 +63,9 @@ class ModemControl {
   virtual void refresh_profile(Done done) = 0;
   /// A2: update control-plane configuration (PLMN priority list et al.)
   /// via proactive command; takes effect on the next (re)registration.
-  virtual void update_cplane_config(const nas::PlmnId& plmn) = 0;
+  /// `done(true)` means the config write itself landed — service health
+  /// is judged by the follow-up action that uses it.
+  virtual void update_cplane_config(const nas::PlmnId& plmn, Done done) = 0;
   /// Slice config update (§9 extension): takes effect on the next
   /// session establishment/modification.
   virtual void update_slice(const nas::SNssai& snssai) = 0;

@@ -13,11 +13,13 @@
 namespace seed::obs {
 namespace {
 
-constexpr std::array<std::string_view, 11> kKindNames = {
+constexpr std::array<std::string_view, 16> kKindNames = {
     "failure_injected", "failure_detected",   "diagnosis_made",
     "reset_issued",     "reset_completed",    "recovered",
     "collab_downlink",  "collab_uplink",      "conflict_suppressed",
-    "rate_limited",     "log",
+    "rate_limited",     "log",                "chaos_injected",
+    "action_retry",     "tier_escalated",     "watchdog_fired",
+    "degraded",
 };
 
 constexpr std::array<std::string_view, 6> kOriginNames = {
@@ -321,6 +323,11 @@ std::vector<SpanSummary> Tracer::assemble(std::vector<Event> events) {
       case EventKind::kCollabUplink: ++s.collab_uplinks; break;
       case EventKind::kConflictSuppressed: ++s.conflicts_suppressed; break;
       case EventKind::kRateLimited: ++s.rate_limited; break;
+      case EventKind::kChaosInjected: ++s.chaos_injected; break;
+      case EventKind::kActionRetry: ++s.action_retries; break;
+      case EventKind::kTierEscalated: ++s.tier_escalations; break;
+      case EventKind::kWatchdogFired: ++s.watchdog_fires; break;
+      case EventKind::kDegraded: ++s.degradations; break;
       case EventKind::kLog: break;
     }
   }
@@ -368,6 +375,11 @@ void Tracer::print_summary(std::ostream& os,
     if (s.rate_limited) os << "  rate_limited=" << s.rate_limited;
     if (s.collab_downlinks) os << "  dl=" << s.collab_downlinks;
     if (s.collab_uplinks) os << "  ul=" << s.collab_uplinks;
+    if (s.chaos_injected) os << "  chaos=" << s.chaos_injected;
+    if (s.action_retries) os << "  retries=" << s.action_retries;
+    if (s.tier_escalations) os << "  escalations=" << s.tier_escalations;
+    if (s.watchdog_fires) os << "  watchdog=" << s.watchdog_fires;
+    if (s.degradations) os << "  degraded=" << s.degradations;
     os << "\n";
   }
 }

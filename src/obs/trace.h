@@ -41,6 +41,13 @@ enum class EventKind : std::uint8_t {
   kConflictSuppressed,
   kRateLimited,
   kLog,
+  // Chaos / hardened-recovery events (appended so existing numeric
+  // values — and therefore recorded traces — stay stable).
+  kChaosInjected,    // a fault-injection point fired (cause = point code)
+  kActionRetry,      // a failed reset action is retried with backoff
+  kTierEscalated,    // handling moved past a failed action (Table 3 order)
+  kWatchdogFired,    // recovery watchdog deadline hit, handling re-armed
+  kDegraded,         // fell back to legacy handling (applet/channel dead)
 };
 
 /// Which vantage point emitted the event (the same failure is seen by the
@@ -112,6 +119,11 @@ struct SpanSummary {
   std::uint64_t rate_limited = 0;
   std::uint64_t collab_downlinks = 0;
   std::uint64_t collab_uplinks = 0;
+  std::uint64_t chaos_injected = 0;
+  std::uint64_t action_retries = 0;
+  std::uint64_t tier_escalations = 0;
+  std::uint64_t watchdog_fires = 0;
+  std::uint64_t degradations = 0;
 
   std::optional<double> detect_ms() const { return delta(detected_us); }
   std::optional<double> diagnose_ms() const { return delta(diagnosed_us); }
@@ -298,6 +310,66 @@ inline void emit_rate_limited(std::uint8_t action,
   e.kind = EventKind::kRateLimited;
   e.origin = origin;
   e.action = action;
+  t.record_now(std::move(e));
+}
+
+/// `point` is the chaos::Point code of the injection that fired; it rides
+/// in the cause field (obs stays below the chaos layer in the dep graph,
+/// mirroring how reset actions use numeric codes).
+inline void emit_chaos_injected(std::uint8_t point,
+                                Origin origin = Origin::kTestbed) {
+  Tracer& t = Tracer::instance();
+  if (!t.enabled()) return;
+  Event e;
+  e.kind = EventKind::kChaosInjected;
+  e.origin = origin;
+  e.cause = point;
+  t.record_now(std::move(e));
+}
+
+/// `attempt` (1-based, the attempt that just failed) rides in the plane
+/// field, which is otherwise meaningless for retry events.
+inline void emit_action_retry(std::uint8_t action, std::uint8_t attempt,
+                              Origin origin = Origin::kSim) {
+  Tracer& t = Tracer::instance();
+  if (!t.enabled()) return;
+  Event e;
+  e.kind = EventKind::kActionRetry;
+  e.origin = origin;
+  e.action = action;
+  e.plane = attempt;
+  t.record_now(std::move(e));
+}
+
+/// `action` is the action being escalated *to* (next Table 3 rung).
+inline void emit_tier_escalated(std::uint8_t action,
+                                Origin origin = Origin::kSim) {
+  Tracer& t = Tracer::instance();
+  if (!t.enabled()) return;
+  Event e;
+  e.kind = EventKind::kTierEscalated;
+  e.origin = origin;
+  e.action = action;
+  t.record_now(std::move(e));
+}
+
+inline void emit_watchdog_fired(std::uint8_t refires,
+                                Origin origin = Origin::kOs) {
+  Tracer& t = Tracer::instance();
+  if (!t.enabled()) return;
+  Event e;
+  e.kind = EventKind::kWatchdogFired;
+  e.origin = origin;
+  e.cause = refires;
+  t.record_now(std::move(e));
+}
+
+inline void emit_degraded(Origin origin = Origin::kOs) {
+  Tracer& t = Tracer::instance();
+  if (!t.enabled()) return;
+  Event e;
+  e.kind = EventKind::kDegraded;
+  e.origin = origin;
   t.record_now(std::move(e));
 }
 

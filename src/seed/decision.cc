@@ -175,4 +175,24 @@ std::vector<ResetAction> learning_trial_order(DeviceMode mode) {
           ResetAction::kA2CPlaneConfigUpdate, ResetAction::kA1ProfileReload};
 }
 
+sim::Duration backoff_delay(const RetryPolicy& policy, int attempt) {
+  double d = sim::to_seconds(policy.backoff_initial);
+  for (int i = 1; i < attempt; ++i) d *= policy.backoff_factor;
+  const double cap = sim::to_seconds(policy.backoff_cap);
+  return sim::secs_f(d < cap ? d : cap);
+}
+
+std::vector<ResetAction> escalation_ladder(
+    const std::vector<ResetAction>& plan, DeviceMode mode) {
+  std::vector<ResetAction> out;
+  for (ResetAction a : learning_trial_order(mode)) {
+    bool in_plan = false;
+    for (ResetAction p : plan) {
+      if (p == a) in_plan = true;
+    }
+    if (!in_plan) out.push_back(a);
+  }
+  return out;
+}
+
 }  // namespace seed::core

@@ -137,6 +137,12 @@ std::optional<Bytes> AutnCodec::Reassembler::feed(
     last_len_ = autn[1];
     for (std::size_t i = 2; i < 16; ++i) buffer_.push_back(autn[i]);
   } else {
+    if (seq == received_ - 1 && total == expected_total_) {
+      // Duplicate of the fragment just consumed (retransmitted or
+      // duplicated Authentication Request): ACKed upstream but ignored
+      // here, keeping the in-progress transfer intact.
+      return std::nullopt;
+    }
     if (seq != received_ || total != expected_total_) {
       reset();
       return std::nullopt;

@@ -127,13 +127,26 @@ std::optional<Bytes> DiagDnnCodec::Reassembler::feed(const nas::Dnn& dnn) {
     reset();
     return std::nullopt;
   }
+  // A multi-fragment frame always carries payload labels; a bare header
+  // mid-stream is a truncated fragment — drop the transfer rather than
+  // mis-assemble (the sender re-requests on the next ACK round).
+  if (total > 1 && dnn.labels().size() < 2) {
+    reset();
+    return std::nullopt;
+  }
   if (received_ == 0) {
     if (seq != 0) {
       reset();
       return std::nullopt;
     }
     expected_total_ = total;
+  } else if (seq == received_ - 1 && total == expected_total_) {
+    // Exact re-send of the fragment just consumed (duplicated PDU
+    // request): ignore it without disturbing the in-progress transfer.
+    return std::nullopt;
   } else if (seq != received_ || total != expected_total_) {
+    // Reordered or cross-transfer fragment: drop the partial frame and
+    // resynchronize on the next seq-0 fragment.
     reset();
     return std::nullopt;
   }

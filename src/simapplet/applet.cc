@@ -1,5 +1,6 @@
 #include "simapplet/applet.h"
 
+#include "chaos/chaos.h"
 #include "common/codec.h"
 #include "common/params.h"
 #include "obs/registry.h"
@@ -24,7 +25,9 @@ SeedApplet::SeedApplet(sim::Simulator& sim, sim::Rng& rng,
       profile_(std::move(profile)),
       milenage_(crypto::Milenage::from_opc(k, opc)),
       seed_ctx_(seed_key, kSeedBearer),
-      pending_wait_(sim) {}
+      pending_wait_(sim),
+      retry_timer_(sim),
+      action_deadline_(sim) {}
 
 modem::AuthResult SeedApplet::authenticate(
     const std::array<std::uint8_t, 16>& rand,
@@ -32,8 +35,9 @@ modem::AuthResult SeedApplet::authenticate(
   ++stats_.auths_performed;
 
   if (proto::is_dflag(rand)) {
-    if (!enabled_) {
-      // A legacy SIM runs Milenage on the garbage RAND and fails the MAC.
+    if (!enabled_ || applet_down()) {
+      // A legacy SIM — or a crashed/dead applet — runs Milenage on the
+      // garbage RAND and fails the MAC.
       modem::AuthResult r;
       r.kind = modem::AuthResult::Kind::kMacFailure;
       return r;
@@ -92,6 +96,43 @@ void SeedApplet::notify_recovered() {
     ++stats_.plans_cancelled_by_recovery;
     plan_in_flight_ = false;
   }
+  if (retry_timer_.armed()) {
+    // Service came back mid-backoff: the pending retry is unnecessary.
+    retry_timer_.cancel();
+    ++stats_.plans_cancelled_by_recovery;
+    plan_in_flight_ = false;
+  }
+}
+
+bool SeedApplet::applet_down() const {
+  return dead_ || sim_.now() < down_until_;
+}
+
+void SeedApplet::crash() {
+  ++stats_.applet_crashes;
+  obs::count("seed.applet_crashes");
+  // Volatile state is lost: partial reassembly, in-flight plan, timers.
+  reassembler_.reset();
+  pending_wait_.cancel();
+  retry_timer_.cancel();
+  action_deadline_.cancel();
+  ++action_epoch_;  // outstanding action completions are stale
+  plan_in_flight_ = false;
+  pending_dp_config_dnn_.reset();
+  ++crash_count_;
+  if (crash_count_ >= chaos_->config().applet_max_crashes) {
+    dead_ = true;
+    SLOG(kWarn, "applet") << "applet dead after " << crash_count_
+                          << " crashes";
+    obs::emit_degraded(obs::Origin::kSim);
+    obs::count("seed.applet_dead");
+    if (on_dead_) on_dead_();
+    return;
+  }
+  down_until_ = sim_.now() + chaos_->config().applet_restart_time;
+  SLOG(kWarn, "applet") << "applet crashed, restart in "
+                        << sim::to_ms(chaos_->config().applet_restart_time)
+                        << " ms";
 }
 
 std::size_t SeedApplet::storage_used_bytes() const {
@@ -103,6 +144,13 @@ std::size_t SeedApplet::storage_used_bytes() const {
 
 void SeedApplet::handle_diag(const proto::DiagInfo& info) {
   if (!enabled_) return;
+  if (chaos_ != nullptr) {
+    if (applet_down()) return;  // diagnosis lost while crashed/dead
+    if (chaos_->crash_applet()) {
+      crash();
+      return;
+    }
+  }
   ++stats_.diags_received;
   SLOG(kInfo, "applet") << "diagnosis: "
                         << nas::cause_name(info.plane, info.cause) << " (#"
@@ -187,7 +235,8 @@ void SeedApplet::execute_plan(core::HandlingPlan plan, std::uint8_t cause) {
       plan_in_flight_ = false;
       return;
     }
-    run_actions(plan.actions, 0, plan.learning_trial, cause);
+    run_actions(plan.actions, 0, /*attempt=*/1, plan.learning_trial, cause,
+                /*escalated=*/false);
   };
 
   if (plan.wait.count() > 0) {
@@ -197,20 +246,52 @@ void SeedApplet::execute_plan(core::HandlingPlan plan, std::uint8_t cause) {
   }
 }
 
-bool SeedApplet::rate_limited(proto::ResetAction a) {
+bool SeedApplet::rate_limited(proto::ResetAction a) const {
   const auto it = last_action_time_.find(a);
-  if (it != last_action_time_.end() &&
-      sim_.now() - it->second < params::kSeedActionRateLimit) {
-    return true;
-  }
+  return it != last_action_time_.end() &&
+         sim_.now() - it->second < params::kSeedActionRateLimit;
+}
+
+void SeedApplet::charge_rate_limit(proto::ResetAction a) {
   last_action_time_[a] = sim_.now();
-  return false;
+}
+
+void SeedApplet::refund_rate_limit(proto::ResetAction a,
+                                   sim::TimePoint issued_at) {
+  if (!retry_policy_.refund_failed_actions) return;
+  // A failed reset must not consume rate-limit budget and suppress the
+  // follow-up retry; erase the charge unless a newer issue of the same
+  // action has overwritten it.
+  const auto it = last_action_time_.find(a);
+  if (it != last_action_time_.end() && it->second == issued_at) {
+    last_action_time_.erase(it);
+  }
 }
 
 void SeedApplet::run_actions(std::vector<proto::ResetAction> actions,
-                             std::size_t idx, bool learning,
-                             std::uint8_t cause) {
+                             std::size_t idx, int attempt, bool learning,
+                             std::uint8_t cause, bool escalated) {
   if (idx >= actions.size()) {
+    // Plan exhausted. Hardened policy walks the rest of the Table 3
+    // ladder once, then falls back to the terminal rung: the user.
+    if (retry_policy_.escalate_beyond_plan && !escalated) {
+      std::vector<proto::ResetAction> ladder =
+          core::escalation_ladder(actions, mode_);
+      if (!ladder.empty()) {
+        ++stats_.tier_escalations;
+        obs::emit_tier_escalated(static_cast<std::uint8_t>(ladder.front()));
+        obs::count("seed.tier_escalations");
+        SLOG(kInfo, "applet")
+            << "plan exhausted, escalating to "
+            << proto::reset_action_name(ladder.front());
+        run_actions(std::move(ladder), 0, 1, learning, cause, true);
+        return;
+      }
+    }
+    if (retry_policy_.notify_user_on_exhaust) {
+      ++stats_.user_notifications;
+      if (notify_user_) notify_user_("recovery actions exhausted");
+    }
     plan_in_flight_ = false;
     return;
   }
@@ -223,14 +304,29 @@ void SeedApplet::run_actions(std::vector<proto::ResetAction> actions,
     ++stats_.actions_rate_limited;
     obs::emit_rate_limited(static_cast<std::uint8_t>(action));
     obs::count("seed.rate_limited");
-    run_actions(std::move(actions), idx + 1, learning, cause);
+    run_actions(std::move(actions), idx + 1, 1, learning, cause, escalated);
     return;
   }
   ++stats_.actions_run;
-  SLOG(kInfo, "applet") << "reset action " << proto::reset_action_name(action);
+  SLOG(kInfo, "applet") << "reset action " << proto::reset_action_name(action)
+                        << (attempt > 1 ? " (retry)" : "");
+  const auto issued_at = sim_.now();
+  charge_rate_limit(action);
 
-  auto next = [this, actions, idx, learning, cause](bool ok) mutable {
-    const bool healthy = ok && (!recovery_probe_ || recovery_probe_());
+  const std::uint64_t epoch = ++action_epoch_;
+  auto complete = [this, actions, idx, attempt, learning, cause, escalated,
+                   action, issued_at, epoch](bool ok) mutable {
+    if (epoch != action_epoch_) return;  // stale (deadline already fired,
+                                         // a crash, or a newer action)
+    ++action_epoch_;                     // first completion wins
+    action_deadline_.cancel();
+    // A2 is a pure config write: done(true) confirms the write landed,
+    // but recovery is judged by the follow-up action (A1/B2) that uses
+    // the config, so the plan always advances. done(false) — only
+    // possible under chaos — is retryable like any other action.
+    const bool config_only = action == proto::ResetAction::kA2CPlaneConfigUpdate;
+    const bool healthy =
+        ok && !config_only && (!recovery_probe_ || recovery_probe_());
     if (healthy) {
       if (learning) {
         // Algorithm 1 lines 3-7: record and upload the success.
@@ -243,41 +339,78 @@ void SeedApplet::run_actions(std::vector<proto::ResetAction> actions,
       plan_in_flight_ = false;
       return;
     }
-    run_actions(std::move(actions), idx + 1, learning, cause);
+    if (!ok) {
+      refund_rate_limit(action, issued_at);
+      if (attempt < retry_policy_.max_attempts_per_action) {
+        ++stats_.actions_retried;
+        obs::emit_action_retry(static_cast<std::uint8_t>(action),
+                               static_cast<std::uint8_t>(attempt + 1));
+        obs::count("seed.action_retries");
+        retry_timer_.arm(
+            core::backoff_delay(retry_policy_, attempt),
+            [this, actions = std::move(actions), idx, attempt, learning,
+             cause, escalated]() mutable {
+              if (recovery_probe_ && recovery_probe_()) {
+                ++stats_.plans_cancelled_by_recovery;
+                plan_in_flight_ = false;
+                return;
+              }
+              run_actions(std::move(actions), idx, attempt + 1, learning,
+                          cause, escalated);
+            });
+        return;
+      }
+      if (retry_policy_.escalate_beyond_plan && idx + 1 < actions.size()) {
+        ++stats_.tier_escalations;
+        obs::emit_tier_escalated(
+            static_cast<std::uint8_t>(actions[idx + 1]));
+        obs::count("seed.tier_escalations");
+      }
+    }
+    run_actions(std::move(actions), idx + 1, 1, learning, cause, escalated);
   };
 
+  if (retry_policy_.action_deadline.count() > 0) {
+    // AT-command hang guard: treat a command that never answers as failed.
+    action_deadline_.arm(retry_policy_.action_deadline,
+                         [complete]() mutable { complete(false); });
+  }
+  issue_action(action, std::move(complete));
+}
+
+void SeedApplet::issue_action(proto::ResetAction action,
+                              modem::ModemControl::Done done) {
   switch (action) {
     case proto::ResetAction::kA1ProfileReload:
-      control_->refresh_profile(next);
+      control_->refresh_profile(std::move(done));
       break;
     case proto::ResetAction::kA2CPlaneConfigUpdate:
-      control_->update_cplane_config(profile_.preferred_plmn);
-      // Config application is instantaneous; success is judged by the
-      // follow-up action (A1/B2) that uses it.
-      next(false);
+      control_->update_cplane_config(profile_.preferred_plmn,
+                                     std::move(done));
       break;
     case proto::ResetAction::kA3DPlaneConfigUpdate:
-      control_->update_dplane_config(profile_.dnn, std::nullopt, next);
+      control_->update_dplane_config(profile_.dnn, std::nullopt,
+                                     std::move(done));
       break;
     case proto::ResetAction::kB1ModemReset:
-      control_->at_modem_reset(next);
+      control_->at_modem_reset(std::move(done));
       break;
     case proto::ResetAction::kB2CPlaneReattach:
-      control_->at_reattach(next);
+      control_->at_reattach(std::move(done));
       break;
     case proto::ResetAction::kB3DPlaneReset:
       if (pending_dp_config_dnn_) {
         // Config-related cause: modify with the fresh config (Table 3).
         const std::string dnn = *pending_dp_config_dnn_;
         pending_dp_config_dnn_.reset();
-        control_->at_dplane_modify(dnn, next);
+        control_->at_dplane_modify(dnn, std::move(done));
       } else {
-        control_->fast_dplane_reset(next);
+        control_->fast_dplane_reset(std::move(done));
       }
       break;
     case proto::ResetAction::kNone:
     case proto::ResetAction::kNotifyUser:
-      next(false);
+      done(false);
       break;
   }
 }
@@ -286,6 +419,13 @@ void SeedApplet::run_actions(std::vector<proto::ResetAction> actions,
 
 void SeedApplet::report_failure(const proto::FailureReport& report) {
   if (!enabled_) return;
+  if (chaos_ != nullptr) {
+    if (applet_down()) return;  // report lost while crashed/dead
+    if (chaos_->crash_applet()) {
+      crash();
+      return;
+    }
+  }
   ++stats_.reports_received;
   // Conflict window: an ongoing cause-based handling supersedes (§4.4.2).
   if (sim_.now() - last_cause_time_ < params::kSeedConflictWindow) {
@@ -295,7 +435,7 @@ void SeedApplet::report_failure(const proto::FailureReport& report) {
     obs::count("seed.conflict_suppressed");
     return;
   }
-  if (mode_ == core::DeviceMode::kSeedR) {
+  if (mode_ == core::DeviceMode::kSeedR && !collab_uplink_dead_) {
     send_report_uplink(report);
     return;
   }
@@ -320,10 +460,28 @@ void SeedApplet::send_report_uplink(const proto::FailureReport& report) {
   const Bytes frame =
       seed_ctx_.protect(report.encode(), crypto::Direction::kUplink);
   const auto dnns = proto::DiagDnnCodec::pack(frame);
-  sim_.schedule_after(prep, [this, dnns, prep_start] {
+  sim_.schedule_after(prep, [this, dnns, report, prep_start] {
     report_prep_ms_.push_back(sim::to_ms(sim_.now() - prep_start));
     const auto send_start = sim_.now();
-    control_->send_diag_report(dnns, [this, send_start](bool /*acked*/) {
+    control_->send_diag_report(dnns, [this, report, send_start](bool acked) {
+      if (!acked) {
+        // The modem gave up on the transfer (chaos-impaired channel).
+        // Fall back to the local Table 3 plan; after a streak, declare
+        // the collab uplink dead so future reports go local directly.
+        ++stats_.uplink_report_failures;
+        obs::count("seed.collab.uplink_failed");
+        SLOG(kWarn, "applet") << "uplink report failed";
+        if (++uplink_fail_streak_ >= 3 && !collab_uplink_dead_) {
+          collab_uplink_dead_ = true;
+          obs::emit_degraded(obs::Origin::kSim);
+          obs::count("seed.collab_dead");
+          SLOG(kWarn, "applet") << "collab uplink declared dead";
+        }
+        core::HandlingPlan plan = core::decide_for_report(report, mode_);
+        execute_plan(std::move(plan), 0);
+        return;
+      }
+      uplink_fail_streak_ = 0;
       report_trans_ms_.push_back(sim::to_ms(sim_.now() - send_start));
       SLOG(kDebug, "applet") << "uplink report delivered";
       obs::emit_collab_uplink(report_prep_ms_.back(),
@@ -335,7 +493,14 @@ void SeedApplet::send_report_uplink(const proto::FailureReport& report) {
         if (recovery_probe_ && recovery_probe_()) return;
         if (!rate_limited(proto::ResetAction::kB3DPlaneReset)) {
           ++stats_.actions_run;
-          control_->fast_dplane_reset([](bool) {});
+          const auto issued_at = sim_.now();
+          charge_rate_limit(proto::ResetAction::kB3DPlaneReset);
+          control_->fast_dplane_reset([this, issued_at](bool ok) {
+            if (!ok) {
+              refund_rate_limit(proto::ResetAction::kB3DPlaneReset,
+                                issued_at);
+            }
+          });
         } else {
           ++stats_.actions_rate_limited;
           obs::emit_rate_limited(

@@ -31,6 +31,10 @@
 #include "simcore/rng.h"
 #include "simcore/simulator.h"
 
+namespace seed::chaos {
+class ChaosEngine;
+}  // namespace seed::chaos
+
 namespace seed::applet {
 
 struct AppletStats {
@@ -46,6 +50,11 @@ struct AppletStats {
   std::uint64_t reports_sent_uplink = 0;
   std::uint64_t user_notifications = 0;
   std::uint64_t learning_trials = 0;
+  // chaos-hardening counters (zero on unimpaired runs)
+  std::uint64_t actions_retried = 0;
+  std::uint64_t tier_escalations = 0;
+  std::uint64_t applet_crashes = 0;
+  std::uint64_t uplink_report_failures = 0;
 };
 
 class SeedApplet : public modem::SimCard {
@@ -71,6 +80,23 @@ class SeedApplet : public modem::SimCard {
   void set_user_notifier(std::function<void(std::string)> fn) {
     notify_user_ = std::move(fn);
   }
+  /// Chaos fault injection (testbed-only); with no engine attached the
+  /// applet never crashes and every code path matches the seed behaviour.
+  void set_chaos(chaos::ChaosEngine* chaos) { chaos_ = chaos; }
+  /// Retry/backoff/escalation behaviour for failed reset actions. The
+  /// default (RetryPolicy::legacy()) reproduces the original
+  /// one-attempt-per-action semantics exactly.
+  void set_retry_policy(const core::RetryPolicy& policy) {
+    retry_policy_ = policy;
+  }
+  const core::RetryPolicy& retry_policy() const { return retry_policy_; }
+  /// Fired once when the applet is declared dead (crash budget exhausted);
+  /// the device degrades to legacy handling.
+  void set_death_notifier(std::function<void()> fn) {
+    on_dead_ = std::move(fn);
+  }
+  bool dead() const { return dead_; }
+  bool collab_uplink_dead() const { return collab_uplink_dead_; }
 
   /// SEED on/off (off = plain legacy SIM for baselines).
   void enable_seed(bool on) { enabled_ = on; }
@@ -111,9 +137,17 @@ class SeedApplet : public modem::SimCard {
   void apply_config(const proto::ConfigPayload& config);
   void execute_plan(core::HandlingPlan plan, std::uint8_t cause);
   void run_actions(std::vector<proto::ResetAction> actions, std::size_t idx,
-                   bool learning, std::uint8_t cause);
-  bool rate_limited(proto::ResetAction a);
+                   int attempt, bool learning, std::uint8_t cause,
+                   bool escalated);
+  void issue_action(proto::ResetAction action,
+                    modem::ModemControl::Done done);
+  bool rate_limited(proto::ResetAction a) const;
+  void charge_rate_limit(proto::ResetAction a);
+  void refund_rate_limit(proto::ResetAction a, sim::TimePoint issued_at);
   void send_report_uplink(const proto::FailureReport& report);
+  /// Chaos: true when the applet is dead or mid-restart after a crash.
+  bool applet_down() const;
+  void crash();
 
   sim::Simulator& sim_;
   sim::Rng& rng_;
@@ -143,6 +177,23 @@ class SeedApplet : public modem::SimCard {
   AppletStats stats_;
   std::vector<double> report_prep_ms_;
   std::vector<double> report_trans_ms_;
+
+  // ----- chaos hardening (inert under RetryPolicy::legacy() + no engine:
+  // the extra timers are only armed by retries/deadlines, so unimpaired
+  // runs keep the event loop byte-identical)
+  core::RetryPolicy retry_policy_;
+  chaos::ChaosEngine* chaos_ = nullptr;
+  std::function<void()> on_dead_;
+  bool dead_ = false;
+  sim::TimePoint down_until_{};  // restart window after a crash
+  int crash_count_ = 0;
+  int uplink_fail_streak_ = 0;
+  bool collab_uplink_dead_ = false;
+  sim::Timer retry_timer_;
+  sim::Timer action_deadline_;
+  /// Bumped on every action issue and on first completion; guards against
+  /// a late AT response racing the deadline-driven escalation.
+  std::uint64_t action_epoch_ = 0;
 };
 
 }  // namespace seed::applet

@@ -4,6 +4,7 @@
 #include "common/params.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
+#include "simcore/fleet_runner.h"
 #include "simcore/log.h"
 
 namespace seed::testbed {
@@ -48,7 +49,8 @@ std::uint8_t dp_cause_of(DpFailure f) {
 }  // namespace
 
 Testbed::Testbed(std::uint64_t seed, Scheme scheme)
-    : rng_(seed), cpu_(params::kCoreServerCores), scheme_(scheme) {
+    : rng_(seed), cpu_(params::kCoreServerCores), scheme_(scheme),
+      seed_(seed) {
   // One timestamp source for logs and trace events (set_clock forwards to
   // the logger), plus event-loop gauges when the registry is enabled.
   obs::Tracer::instance().set_clock(&sim_.now_ref());
@@ -84,6 +86,22 @@ Testbed::~Testbed() = default;
 
 void Testbed::set_learner(core::NetRecord* learner) {
   core_->set_learner(learner);
+}
+
+chaos::ChaosEngine& Testbed::enable_chaos(const chaos::ChaosConfig& config) {
+  // A distinct stream family from the testbed RNG: impairment draws must
+  // never perturb the scenario's own randomness.
+  chaos_ = std::make_unique<chaos::ChaosEngine>(
+      config, sim::shard_seed(seed_, 0x5eedc4a0));
+  device_->modem().set_chaos(chaos_.get());
+  device_->applet().set_chaos(chaos_.get());
+  core_->set_chaos(chaos_.get());
+  // The hardening that copes with the impairments (and nothing else —
+  // an engine with an all-zero config plus this policy still recovers
+  // through the ordinary paths).
+  device_->applet().set_retry_policy(core::RetryPolicy::hardened());
+  device_->enable_recovery_watchdog();
+  return *chaos_;
 }
 
 void Testbed::bring_up() {

@@ -8,6 +8,7 @@
 #include <optional>
 #include <string>
 
+#include "chaos/chaos.h"
 #include "corenet/core_network.h"
 #include "device/device.h"
 #include "metrics/meters.h"
@@ -90,6 +91,15 @@ class Testbed {
   device::Device& dev() { return *device_; }
   metrics::CpuMeter& core_cpu() { return cpu_; }
 
+  /// Attaches a chaos engine impairing SEED's own recovery path and arms
+  /// the hardening that copes with it: hardened retry policy, recovery
+  /// watchdog, ack-guards on both collab directions. The engine's streams
+  /// are seeded from the testbed seed (sim::shard_seed), so a run is
+  /// byte-reproducible per (seed, config).
+  chaos::ChaosEngine& enable_chaos(const chaos::ChaosConfig& config);
+  /// Null until enable_chaos() is called.
+  chaos::ChaosEngine* chaos() { return chaos_.get(); }
+
   /// Shares an operator-wide online-learning model across testbeds
   /// (Algorithm 1's NetRecord lives in the infrastructure).
   void set_learner(core::NetRecord* learner);
@@ -114,6 +124,8 @@ class Testbed {
   std::unique_ptr<corenet::CoreNetwork> core_;
   std::unique_ptr<device::Device> device_;
   Scheme scheme_;
+  std::uint64_t seed_;
+  std::unique_ptr<chaos::ChaosEngine> chaos_;
 };
 
 /// Samples a (plane-tagged) failure scenario according to the empirical

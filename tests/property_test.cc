@@ -77,8 +77,10 @@ TEST(SecurityContextProperty, ManyMessagesSurviveInOrderDelivery) {
 
 // -------------------------------------------------------- NAS messages
 
-nas::NasMessage random_message(sim::Rng& rng) {
-  switch (rng.uniform_int(0, 5)) {
+constexpr int kNasMessageKinds = 6;
+
+nas::NasMessage random_message_of(sim::Rng& rng, std::int64_t kind) {
+  switch (kind) {
     case 0: {
       nas::RegistrationRequest m;
       m.identity.kind = nas::MobileIdentity::Kind::kSuci;
@@ -137,6 +139,10 @@ nas::NasMessage random_message(sim::Rng& rng) {
   }
 }
 
+nas::NasMessage random_message(sim::Rng& rng) {
+  return random_message_of(rng, rng.uniform_int(0, kNasMessageKinds - 1));
+}
+
 TEST(NasProperty, RandomMessagesRoundTripCanonically) {
   sim::Rng rng(1234);
   for (int i = 0; i < 3000; ++i) {
@@ -160,6 +166,124 @@ TEST(NasProperty, RandomBytesNeverCrashDecoder) {
       // Anything accepted must re-encode to exactly the input.
       EXPECT_EQ(nas::encode_message(*decoded), junk);
     }
+  }
+}
+
+// ------------------------------------- bit-flip fuzz (chaos hardening)
+
+// Applies 1-4 random bit flips, sometimes followed by a truncation, to a
+// valid wire buffer — the corruption model of the chaos layer's impaired
+// collaboration channel.
+Bytes mutate(sim::Rng& rng, Bytes wire) {
+  if (wire.empty()) return wire;
+  const int flips = static_cast<int>(rng.uniform_int(1, 4));
+  for (int f = 0; f < flips; ++f) {
+    const auto pos = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(wire.size()) - 1));
+    wire[pos] ^= static_cast<std::uint8_t>(1 << rng.uniform_int(0, 7));
+  }
+  if (rng.chance(0.2)) {
+    wire.resize(static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(wire.size()))));
+  }
+  return wire;
+}
+
+// >= 10k mutated buffers per NAS message type: the decoder must neither
+// crash nor over-read (the ASan/UBSan CI job gives this teeth), and
+// anything it accepts must re-encode canonically.
+TEST(NasProperty, BitFlippedWireNeverCrashesDecoderPerType) {
+  for (int kind = 0; kind < kNasMessageKinds; ++kind) {
+    sim::Rng rng(7001 + kind * 131);
+    for (int i = 0; i < 10000; ++i) {
+      const Bytes wire =
+          mutate(rng, nas::encode_message(random_message_of(rng, kind)));
+      const auto decoded = nas::decode_message(wire);
+      if (decoded) {
+        ASSERT_EQ(nas::encode_message(*decoded), wire)
+            << "kind " << kind << " iteration " << i;
+      }
+    }
+  }
+}
+
+TEST(DiagInfoProperty, BitFlippedBuffersNeverCrashDecoder) {
+  sim::Rng rng(7777);
+  for (int i = 0; i < 10000; ++i) {
+    proto::DiagInfo d;
+    d.kind = static_cast<proto::AssistKind>(rng.uniform_int(1, 6));
+    d.plane = rng.chance(0.5) ? nas::Plane::kControl : nas::Plane::kData;
+    d.cause = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    if (rng.chance(0.4)) {
+      Bytes v(static_cast<std::size_t>(rng.uniform_int(0, 20)));
+      for (auto& b : v) b = static_cast<std::uint8_t>(rng.next());
+      d.config = proto::ConfigPayload{
+          static_cast<nas::ConfigKind>(rng.uniform_int(1, 9)), v};
+    }
+    const auto out = proto::DiagInfo::decode(mutate(rng, d.encode()));
+    if (out) {
+      // Accepted mutants must still round-trip through their own encode.
+      ASSERT_TRUE(proto::DiagInfo::decode(out->encode()).has_value())
+          << "iteration " << i;
+    }
+  }
+}
+
+TEST(FailureReportProperty, BitFlippedBuffersNeverCrashDecoder) {
+  sim::Rng rng(8888);
+  for (int i = 0; i < 10000; ++i) {
+    proto::FailureReport f;
+    f.type = static_cast<proto::FailureType>(rng.uniform_int(1, 4));
+    f.direction =
+        static_cast<proto::TrafficDirection>(rng.uniform_int(1, 3));
+    if (rng.chance(0.5)) {
+      f.port = static_cast<std::uint16_t>(rng.uniform_int(0, 65535));
+    }
+    if (rng.chance(0.4)) {
+      f.domain.assign(static_cast<std::size_t>(rng.uniform_int(1, 60)), 'x');
+    }
+    const auto out = proto::FailureReport::decode(mutate(rng, f.encode()));
+    if (out) {
+      ASSERT_TRUE(proto::FailureReport::decode(out->encode()).has_value())
+          << "iteration " << i;
+    }
+  }
+}
+
+// Bit-flipped AUTN fragments and DIAG-DNN fragments through the
+// reassemblers: never crash, and a clean transfer still succeeds after
+// arbitrary corrupted interleavings (reset on the AUTN side).
+TEST(ReassemblerProperty, BitFlippedFragmentsNeverCrash) {
+  sim::Rng rng(9999);
+  Bytes frame(180);
+  for (auto& b : frame) b = static_cast<std::uint8_t>(rng.next());
+  const auto autn_frags = proto::AutnCodec::fragment(frame);
+  const auto dnn_frags = proto::DiagDnnCodec::pack(frame);
+  for (int i = 0; i < 10000; ++i) {
+    proto::AutnCodec::Reassembler are;
+    auto corrupted = autn_frags[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(autn_frags.size()) - 1))];
+    corrupted[rng.uniform_int(0, 15)] ^=
+        static_cast<std::uint8_t>(1 << rng.uniform_int(0, 7));
+    (void)are.feed(corrupted);
+    are.reset();
+    std::optional<Bytes> out;
+    for (const auto& f : autn_frags) out = are.feed(f);
+    ASSERT_TRUE(out.has_value()) << "iteration " << i;
+    ASSERT_EQ(*out, frame);
+
+    proto::DiagDnnCodec::Reassembler dre;
+    const auto& pick = dnn_frags[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(dnn_frags.size()) - 1))];
+    std::vector<Bytes> labels = pick.labels();
+    Bytes& lab = labels[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(labels.size()) - 1))];
+    if (!lab.empty()) {
+      lab[static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(lab.size()) - 1))] ^=
+          static_cast<std::uint8_t>(1 << rng.uniform_int(0, 7));
+    }
+    (void)dre.feed(nas::Dnn::from_labels(labels));
   }
 }
 

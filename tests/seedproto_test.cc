@@ -340,6 +340,71 @@ TEST(DiagDnn, NonDiagDnnResetsReassembler) {
   EXPECT_FALSE(re.feed(nas::Dnn("internet")).has_value());
 }
 
+// ---------------- impaired-channel hardening (chaos layer regressions)
+
+TEST(DiagDnn, DuplicatedFragmentIgnoredMidTransfer) {
+  Bytes frame(200, 0x5a);
+  const auto dnns = DiagDnnCodec::pack(frame);
+  ASSERT_GE(dnns.size(), 3u);
+  DiagDnnCodec::Reassembler re;
+  // Every fragment delivered twice: the duplicate must neither advance
+  // nor reset the transfer.
+  std::optional<Bytes> out;
+  for (const auto& d : dnns) {
+    out = re.feed(d);
+    if (out) break;
+    EXPECT_FALSE(re.feed(d).has_value());
+  }
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, frame);
+}
+
+TEST(DiagDnn, ReorderedFragmentResetsAndRecovers) {
+  Bytes frame(200, 0xa5);
+  const auto dnns = DiagDnnCodec::pack(frame);
+  ASSERT_GE(dnns.size(), 3u);
+  DiagDnnCodec::Reassembler re;
+  EXPECT_FALSE(re.feed(dnns[0]).has_value());
+  EXPECT_FALSE(re.feed(dnns[2]).has_value());  // skipped frag 1 -> reset
+  // A clean restart still succeeds.
+  std::optional<Bytes> out;
+  for (const auto& d : dnns) out = re.feed(d);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, frame);
+}
+
+TEST(DiagDnn, TruncatedBareHeaderFragmentRejected) {
+  Bytes frame(200, 0x3c);
+  const auto dnns = DiagDnnCodec::pack(frame);
+  ASSERT_GE(dnns.size(), 3u);
+  DiagDnnCodec::Reassembler re;
+  EXPECT_FALSE(re.feed(dnns[0]).has_value());
+  // Fragment 1 with its payload labels stripped: a truncated frame that
+  // must reset the transfer instead of mis-assembling a short buffer.
+  nas::Dnn bare = nas::Dnn::from_labels({dnns[1].labels()[0]});
+  EXPECT_FALSE(re.feed(bare).has_value());
+  // The transfer restarts from fragment 0 and completes.
+  std::optional<Bytes> out;
+  for (const auto& d : dnns) out = re.feed(d);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, frame);
+}
+
+TEST(AutnCodec, DuplicatedFragmentIgnoredMidTransfer) {
+  Bytes frame(100, 0x77);
+  const auto frags = AutnCodec::fragment(frame);
+  ASSERT_GE(frags.size(), 3u);
+  AutnCodec::Reassembler re;
+  std::optional<Bytes> out;
+  for (const auto& f : frags) {
+    out = re.feed(f);
+    if (out) break;
+    EXPECT_FALSE(re.feed(f).has_value());  // retransmit of the same frag
+  }
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, frame);
+}
+
 // ---------------------------------------------------- end-to-end uplink
 
 TEST(UplinkChannel, ReportThroughPduSessionRequests) {
