@@ -1,0 +1,163 @@
+// City-scale failure storm: 1k UEs on one core, the Table 1 failure mix
+// injected continuously plus a rolling congestion wave sweeping the
+// cells, with the shared Fig. 8 diagnosis cache on. Reports simulated
+// event throughput (events/s of wall time) and the diagnosis-cache hit
+// rate — how far one core's SEED plugin amortizes across a city.
+//
+// Deterministic: for a fixed --seed the storm schedule, every recovery,
+// and the whole BENCH_city.json line are byte-identical run to run
+// (wall-clock throughput goes to stdout only, never into the JSON).
+//
+// Usage: bench_city_storm [--ues=N] [--seed=S] [--storm-min=M]
+//                         [--no-cache] [--trace=city_trace.jsonl]
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "obs/registry.h"
+#include "obs/trace.h"
+#include "testbed/multi_testbed.h"
+
+using namespace seed;
+
+namespace {
+
+long long arg_of(int argc, char** argv, const char* key, long long fallback) {
+  const std::size_t n = std::strlen(key);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], key, n) == 0 && argv[i][n] == '=') {
+      return std::strtoll(argv[i] + n + 1, nullptr, 10);
+    }
+  }
+  return fallback;
+}
+
+bool flag_of(int argc, char** argv, const char* key) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], key) == 0) return true;
+  }
+  return false;
+}
+
+const char* str_of(int argc, char** argv, const char* key) {
+  const std::size_t n = std::strlen(key);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], key, n) == 0 && argv[i][n] == '=') {
+      return argv[i] + n + 1;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto n_ues = static_cast<std::size_t>(arg_of(argc, argv, "--ues",
+                                                     1000));
+  const auto seed = static_cast<std::uint64_t>(arg_of(argc, argv, "--seed",
+                                                      42));
+  const auto storm_min = arg_of(argc, argv, "--storm-min", 10);
+  const bool cache_on = !flag_of(argc, argv, "--no-cache");
+  const char* trace_path = str_of(argc, argv, "--trace");
+
+  obs::Registry::instance().clear();
+  obs::Registry::instance().enable(true);
+  if (trace_path != nullptr) obs::Tracer::instance().enable(true);
+
+  testbed::MultiOptions opts;
+  opts.ue_count = n_ues;
+  opts.scheme = testbed::Scheme::kSeedU;
+  opts.diag_cache = cache_on;
+  testbed::MultiTestbed city(seed, opts);
+
+  std::cout << "bringing up " << n_ues << " UEs (outdated-DNN population, "
+            << (cache_on ? "shared diagnosis cache" : "cache OFF") << ")...\n";
+  const auto wall0 = std::chrono::steady_clock::now();
+  city.bring_up_all();
+  const auto events_after_bringup = city.simulator().events_processed();
+  std::cout << "  fleet healthy after " << events_after_bringup
+            << " simulated events\n";
+
+  // ---- the storm: every UE draws failures from the Table 1 mix at an
+  // exponential-ish cadence, and a congestion wave rolls over 5% of the
+  // city every 30 s.
+  auto& sim = city.simulator();
+  auto& rng = city.rng();
+  city.start_rolling_congestion(sim::seconds(30), sim::seconds(12), 0.05);
+
+  const auto storm_end = sim.now() + sim::minutes(storm_min);
+  // Mean one injection per UE per 2 simulated minutes: with 1k UEs that
+  // is ~8 injections/s citywide, far denser than any real cell ever sees.
+  const double mean_gap_s = 120.0;
+  std::uint64_t injections = 0;
+  while (sim.now() < storm_end) {
+    const auto ue = static_cast<corenet::UeId>(
+        rng.uniform_int(0, static_cast<int>(n_ues) - 1));
+    city.inject_sampled(ue);
+    ++injections;
+    const double gap = rng.uniform(0.0, 2.0 * mean_gap_s /
+                                            static_cast<double>(n_ues));
+    sim.run_for(sim::secs_f(gap));
+  }
+  // Drain: give in-flight recoveries time to settle.
+  sim.run_for(sim::minutes(3));
+
+  const double wall_s = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - wall0)
+                            .count();
+  const std::uint64_t events = sim.events_processed();
+  const std::size_t healthy = city.healthy_count();
+  const auto& cs = city.core().stats();
+
+  std::uint64_t hits = 0, misses = 0, bypasses = 0, invalidations = 0;
+  double hit_rate = 0.0;
+  std::size_t cache_entries = 0;
+  if (const core::DiagnosisCache* c = city.core().diag_cache()) {
+    hits = c->stats().hits;
+    misses = c->stats().misses;
+    bypasses = c->stats().bypasses;
+    invalidations = c->stats().invalidations;
+    hit_rate = c->stats().hit_rate();
+    cache_entries = c->size();
+  }
+
+  std::cout << "storm done: " << injections << " injections over "
+            << storm_min << " sim-min\n"
+            << "  simulated events: " << events << " (" << std::fixed
+            << static_cast<double>(events) / wall_s << " events/s wall)\n"
+            << "  healthy UEs at end: " << healthy << "/" << n_ues << "\n"
+            << "  diag downlinks: " << cs.diag_downlinks
+            << ", reports rx: " << cs.diag_reports_rx << "\n"
+            << "  diagnosis cache: " << hits << " hits / " << misses
+            << " misses / " << bypasses << " bypasses / " << invalidations
+            << " invalidations (hit rate " << hit_rate * 100.0 << "%, "
+            << cache_entries << " entries)\n";
+
+  // Deterministic output only (counters, no wall-clock): same seed ->
+  // byte-identical BENCH_city.json.
+  std::ofstream json("BENCH_city.json", std::ios::trunc);
+  json << "{\"bench\":\"city_storm\",\"ues\":" << n_ues
+       << ",\"seed\":" << seed << ",\"storm_min\":" << storm_min
+       << ",\"injections\":" << injections << ",\"sim_events\":" << events
+       << ",\"healthy\":" << healthy << ",\"nas_rx\":" << cs.nas_rx
+       << ",\"nas_tx\":" << cs.nas_tx << ",\"rejects\":" << cs.rejects_sent
+       << ",\"diag_downlinks\":" << cs.diag_downlinks
+       << ",\"diag_reports_rx\":" << cs.diag_reports_rx
+       << ",\"cache\":{\"enabled\":" << (cache_on ? "true" : "false")
+       << ",\"hits\":" << hits << ",\"misses\":" << misses
+       << ",\"bypasses\":" << bypasses
+       << ",\"invalidations\":" << invalidations << ",\"entries\":"
+       << cache_entries << "}}\n";
+  std::cout << "wrote BENCH_city.json\n";
+
+  if (trace_path != nullptr) {
+    std::ofstream trace_out(trace_path, std::ios::trunc);
+    obs::Tracer::instance().export_jsonl(trace_out);
+    std::cout << "wrote " << trace_path << "\n";
+  }
+  return 0;
+}

@@ -24,10 +24,15 @@ int main() {
 
     // Five minutes of rolling congestion with repeated reattach triggers:
     // every 30 s the cell flips congested for ~20 s and the device is
-    // bounced (handover churn).
+    // bounced (handover churn). The clear is a tracked timer: arming a
+    // new burst cancels any still-pending clear, so a stale timer from a
+    // previous burst can never end the new one early (run_for only
+    // advances *at least* 30 s — with a backlogged event queue the prior
+    // clear can still be in flight when the next burst starts).
+    sim::Timer congestion_clear(tb.simulator());
     for (int burst = 0; burst < 10; ++burst) {
       tb.core().faults().congested = true;
-      tb.simulator().schedule_after(sim::seconds(20), [&tb] {
+      congestion_clear.arm(sim::seconds(20), [&tb] {
         tb.core().faults().congested = false;
       });
       tb.dev().modem().trigger_reattach();

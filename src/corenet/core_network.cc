@@ -20,32 +20,96 @@ std::uint8_t sm(SmCause c) { return static_cast<std::uint8_t>(c); }
 
 CoreNetwork::CoreNetwork(sim::Simulator& sim, sim::Rng& rng, SubscriberDb& db,
                          ran::Gnb& gnb, metrics::CpuMeter& cpu)
-    : sim_(sim), rng_(rng), db_(db), gnb_(gnb), cpu_(cpu), frag_guard_(sim) {}
+    : sim_(sim), rng_(rng), db_(db), gnb_(gnb), cpu_(cpu) {}
+
+CoreNetwork::~CoreNetwork() = default;
+
+CoreNetwork::UeContext& CoreNetwork::context(UeId ue) { return *ues_.at(ue); }
+
+const CoreNetwork::UeContext& CoreNetwork::context(UeId ue) const {
+  return *ues_.at(ue);
+}
+
+UeId CoreNetwork::attach_device(const std::string& supi, ran::Gnb& gnb,
+                                std::function<void(Bytes)> downlink) {
+  UeContext* ue = nullptr;
+  const auto it = supi_to_ue_.find(supi);
+  if (it != supi_to_ue_.end()) {
+    ue = ues_[it->second].get();  // re-attach: rebind the link in place
+  } else {
+    const auto id = static_cast<UeId>(ues_.size());
+    ues_.push_back(std::make_unique<UeContext>(sim_, id));
+    supi_to_ue_.emplace(supi, id);
+    ue = ues_.back().get();
+    ue->supi = supi;
+  }
+  ue->gnb = &gnb;
+  ue->downlink = std::move(downlink);
+  if (Subscriber* sub = db_.find(supi)) {
+    ue->seed_ctx.emplace(sub->seed_key, kSeedBearer);
+  }
+  return ue->id;
+}
 
 void CoreNetwork::attach_device(const std::string& supi,
                                 std::function<void(Bytes)> downlink) {
-  supi_ = supi;
-  downlink_ = std::move(downlink);
-  if (Subscriber* sub = db_.find(supi_)) {
-    seed_ctx_.emplace(sub->seed_key, kSeedBearer);
+  attach_device(supi, gnb_, std::move(downlink));
+}
+
+const std::string& CoreNetwork::ue_supi(UeId ue) const {
+  static const std::string kEmpty;
+  return ue < ues_.size() ? ues_[ue]->supi : kEmpty;
+}
+
+Faults& CoreNetwork::faults(UeId ue) { return context(ue).faults; }
+
+void CoreNetwork::set_effective_policy(UeId ue, const TrafficPolicy& p) {
+  context(ue).effective_policy = p;
+}
+
+const TrafficPolicy& CoreNetwork::effective_policy(UeId ue) const {
+  return context(ue).effective_policy;
+}
+
+void CoreNetwork::drop_sessions(UeId ue) { context(ue).sessions.clear(); }
+
+std::uint64_t CoreNetwork::registration_generation(UeId ue) const {
+  return context(ue).reg_gen;
+}
+
+bool CoreNetwork::device_registered(UeId ue) const {
+  return context(ue).registered;
+}
+
+const UeStats& CoreNetwork::ue_stats(UeId ue) const {
+  return context(ue).stats;
+}
+
+void CoreNetwork::enable_diag_cache(bool on) {
+  if (on) {
+    diag_cache_ = std::make_unique<core::DiagnosisCache>();
+    diag_cache_epoch_ = db_.mutation_epoch();
+  } else {
+    diag_cache_.reset();
   }
 }
 
-Subscriber* CoreNetwork::current_sub() { return db_.find(supi_); }
-
-void CoreNetwork::send(const nas::NasMessage& msg) {
+void CoreNetwork::send(UeContext& ue, const nas::NasMessage& msg) {
   ++stats_.nas_tx;
+  ++ue.stats.nas_tx;
   cpu_.charge("nas_tx", 0.0002);
   Bytes wire = nas::encode_message(msg);
   const auto latency = params::kCoreProcessing + params::kGnbCoreLatency +
-                       gnb_.hop_latency();
-  sim_.schedule_after(latency, [this, wire = std::move(wire)] {
-    if (downlink_ && gnb_.radio_up()) downlink_(wire);
+                       ue.gnb->hop_latency();
+  sim_.schedule_after(latency, [&ue, wire = std::move(wire)] {
+    if (ue.downlink && ue.gnb->radio_up()) ue.downlink(wire);
   });
 }
 
-void CoreNetwork::on_uplink(BytesView wire) {
+void CoreNetwork::on_uplink(UeId id, BytesView wire) {
+  UeContext& ue = context(id);
   ++stats_.nas_rx;
+  ++ue.stats.nas_rx;
   cpu_.charge("nas_rx", 0.0002);
   const auto msg = nas::decode_message(wire);
   if (!msg) {
@@ -54,30 +118,30 @@ void CoreNetwork::on_uplink(BytesView wire) {
     return;
   }
   std::visit(
-      [this](const auto& m) {
+      [this, &ue](const auto& m) {
         using T = std::decay_t<decltype(m)>;
         if constexpr (std::is_same_v<T, nas::RegistrationRequest>) {
-          handle_registration(m);
+          handle_registration(ue, m);
         } else if constexpr (std::is_same_v<T, nas::AuthenticationResponse>) {
-          handle_auth_response(m);
+          handle_auth_response(ue, m);
         } else if constexpr (std::is_same_v<T, nas::AuthenticationFailure>) {
-          handle_auth_failure(m);
+          handle_auth_failure(ue, m);
         } else if constexpr (std::is_same_v<T, nas::SecurityModeComplete>) {
-          handle_smc_complete();
+          handle_smc_complete(ue);
         } else if constexpr (std::is_same_v<T, nas::ServiceRequest>) {
-          handle_service_request(m);
+          handle_service_request(ue, m);
         } else if constexpr (std::is_same_v<T, nas::DeregistrationRequest>) {
-          registered_ = false;
-          sessions_.clear();
-          gnb_.rrc_release();
+          ue.registered = false;
+          ue.sessions.clear();
+          ue.gnb->rrc_release();
         } else if constexpr (std::is_same_v<
                                  T, nas::PduSessionEstablishmentRequest>) {
-          handle_pdu_request(m);
+          handle_pdu_request(ue, m);
         } else if constexpr (std::is_same_v<T, nas::PduSessionReleaseRequest>) {
-          handle_pdu_release(m);
+          handle_pdu_release(ue, m);
         } else if constexpr (std::is_same_v<
                                  T, nas::PduSessionModificationRequest>) {
-          handle_pdu_modification(m);
+          handle_pdu_modification(ue, m);
         } else if constexpr (std::is_same_v<T,
                                             nas::PduSessionReleaseComplete>) {
           // final ack of a release; nothing to do
@@ -88,67 +152,72 @@ void CoreNetwork::on_uplink(BytesView wire) {
 
 // ------------------------------------------------------------- registration
 
-void CoreNetwork::handle_registration(const nas::RegistrationRequest& m) {
+void CoreNetwork::handle_registration(UeContext& ue,
+                                      const nas::RegistrationRequest& m) {
   cpu_.charge("procedure", params::kCoreCostPerProcedure / 4);
-  if (faults_.timeout_registration) return;  // swallowed: device times out
+  if (ue.faults.timeout_registration) return;  // swallowed: device times out
 
   Subscriber* sub = nullptr;
   nas::PlmnId selected_plmn{};
   if (m.identity.kind == nas::MobileIdentity::Kind::kGuti) {
     selected_plmn = m.identity.guti.plmn;
-    if (faults_.drop_guti_mapping) {
+    if (ue.faults.drop_guti_mapping) {
       // Status desync: the network cannot derive the identity (Table 1 #1).
-      reject_registration(mm(MmCause::kUeIdentityCannotBeDerived));
+      reject_registration(ue, mm(MmCause::kUeIdentityCannotBeDerived));
       return;
     }
     sub = db_.find_by_guti(m.identity.guti);
     if (sub == nullptr) {
-      reject_registration(mm(MmCause::kUeIdentityCannotBeDerived));
+      reject_registration(ue, mm(MmCause::kUeIdentityCannotBeDerived));
       return;
     }
   } else if (m.identity.kind == nas::MobileIdentity::Kind::kSuci) {
     selected_plmn = m.identity.suci.plmn;
     sub = db_.find_by_msin(m.identity.suci.msin);
   }
-  if (sub == nullptr || sub->supi != supi_) {
-    reject_registration(mm(MmCause::kUeIdentityCannotBeDerived));
+  // Isolation: a message arriving on UE A's link can only act on UE A's
+  // subscription — an identity resolving to another SUPI is rejected, so
+  // one UE's GUTIs / failures never leak into another's AMF state.
+  if (sub == nullptr || sub->supi != ue.supi) {
+    reject_registration(ue, mm(MmCause::kUeIdentityCannotBeDerived));
     return;
   }
   if (!sub->authorized) {
-    reject_registration(mm(MmCause::kIllegalUe));
+    reject_registration(ue, mm(MmCause::kIllegalUe));
     return;
   }
-  if (faults_.plmn_rejected && selected_plmn.mnc == 260) {
+  if (ue.faults.plmn_rejected && selected_plmn.mnc == 260) {
     // The device's (outdated) preferred PLMN is no longer allowed; an
     // updated PLMN list (mnc 310) or a full search recovers.
-    reject_registration(mm(MmCause::kPlmnNotAllowed));
+    reject_registration(ue, mm(MmCause::kPlmnNotAllowed));
     return;
   }
-  if (faults_.transient_reject_count > 0) {
-    --faults_.transient_reject_count;
-    reject_registration(mm(MmCause::kMessageTypeNotCompatibleWithState));
+  if (ue.faults.transient_reject_count > 0) {
+    --ue.faults.transient_reject_count;
+    reject_registration(ue, mm(MmCause::kMessageTypeNotCompatibleWithState));
     return;
   }
-  if (faults_.congested) {
-    reject_registration(mm(MmCause::kCongestion));
+  if (ue.faults.congested) {
+    reject_registration(ue, mm(MmCause::kCongestion));
     return;
   }
-  if (faults_.custom_cause_cp) {
+  if (ue.faults.custom_cause_cp) {
     if (m.identity.kind == nas::MobileIdentity::Kind::kSuci) {
       // A whole-module control-plane reset (fresh identity) cures the
       // customized failure.
-      faults_.custom_cause_cp.reset();
+      ue.faults.custom_cause_cp.reset();
     } else {
-      reject_registration(mm(MmCause::kProtocolErrorUnspecified));
+      reject_registration(ue, mm(MmCause::kProtocolErrorUnspecified));
       return;
     }
   }
-  registration_pending_ = true;
-  start_authentication(true);
+  ue.registration_pending = true;
+  start_authentication(ue, true);
 }
 
-void CoreNetwork::start_authentication(bool /*for_registration*/) {
-  Subscriber* sub = current_sub();
+void CoreNetwork::start_authentication(UeContext& ue,
+                                       bool /*for_registration*/) {
+  Subscriber* sub = sub_of(ue);
   if (sub == nullptr) return;
   ++stats_.auth_vectors;
   cpu_.charge("auth", 0.0005);
@@ -168,40 +237,41 @@ void CoreNetwork::start_authentication(bool /*for_registration*/) {
 
   const crypto::Milenage mil = crypto::Milenage::from_opc(sub->k, sub->opc);
   const auto out = mil.compute(rand, sqn, amf);
-  expected_res_ = Bytes(out.res.begin(), out.res.end());
+  ue.expected_res = Bytes(out.res.begin(), out.res.end());
 
   nas::AuthenticationRequest req;
   req.ngksi = 1;
   req.rand = rand;
   req.autn = mil.build_autn(out, sqn, amf);
-  send(nas::NasMessage(req));
+  send(ue, nas::NasMessage(req));
 }
 
-void CoreNetwork::handle_auth_response(const nas::AuthenticationResponse& m) {
-  if (!expected_res_ || m.res != *expected_res_) {
-    send(nas::NasMessage(nas::AuthenticationReject{}));
-    registration_pending_ = false;
+void CoreNetwork::handle_auth_response(UeContext& ue,
+                                       const nas::AuthenticationResponse& m) {
+  if (!ue.expected_res || m.res != *ue.expected_res) {
+    send(ue, nas::NasMessage(nas::AuthenticationReject{}));
+    ue.registration_pending = false;
     return;
   }
-  expected_res_.reset();
-  awaiting_smc_ = true;
-  send(nas::NasMessage(nas::SecurityModeCommand{}));
+  ue.expected_res.reset();
+  ue.awaiting_smc = true;
+  send(ue, nas::NasMessage(nas::SecurityModeCommand{}));
 }
 
-void CoreNetwork::handle_smc_complete() {
-  if (!awaiting_smc_) return;
-  awaiting_smc_ = false;
-  if (registration_pending_) complete_registration();
+void CoreNetwork::handle_smc_complete(UeContext& ue) {
+  if (!ue.awaiting_smc) return;
+  ue.awaiting_smc = false;
+  if (ue.registration_pending) complete_registration(ue);
 }
 
-void CoreNetwork::complete_registration() {
-  Subscriber* sub = current_sub();
+void CoreNetwork::complete_registration(UeContext& ue) {
+  Subscriber* sub = sub_of(ue);
   if (sub == nullptr) return;
-  registration_pending_ = false;
-  registered_ = true;
-  ++reg_gen_;
-  faults_.drop_guti_mapping = false;  // fresh registration resyncs identity
-  sessions_.clear();  // a fresh registration voids old PDU contexts
+  ue.registration_pending = false;
+  ue.registered = true;
+  ++ue.reg_gen;
+  ue.faults.drop_guti_mapping = false;  // fresh registration resyncs identity
+  ue.sessions.clear();  // a fresh registration voids old PDU contexts
 
   nas::RegistrationAccept acc;
   nas::Guti guti;
@@ -209,102 +279,106 @@ void CoreNetwork::complete_registration() {
   guti.amf_region = 1;
   guti.amf_set = 1;
   guti.tmsi = static_cast<std::uint32_t>(rng_.next());
-  sub->guti = guti;
+  db_.assign_guti(*sub, guti);
   acc.guti = guti;
   acc.tai_list = {nas::Tai{guti.plmn, 100}};
   acc.allowed_nssai = {nas::SNssai{1, std::nullopt}};
-  send(nas::NasMessage(acc));
+  send(ue, nas::NasMessage(acc));
 }
 
-void CoreNetwork::handle_auth_failure(const nas::AuthenticationFailure& m) {
-  if (m.cause == mm(MmCause::kSynchFailure) && next_frag_ > 0) {
+void CoreNetwork::handle_auth_failure(UeContext& ue,
+                                      const nas::AuthenticationFailure& m) {
+  if (m.cause == mm(MmCause::kSynchFailure) && ue.next_frag > 0) {
     // SEED downlink ACK for the previous fragment (Fig. 7a). A duplicated
     // fragment (impaired channel) earns two ACKs; only the first may
     // advance the transfer or the core would skip fragments.
-    if (frag_outstanding_) {
-      frag_outstanding_ = false;
-      frag_retries_ = 0;
-      frag_guard_.cancel();
-      send_diag_fragments();
+    if (ue.frag_outstanding) {
+      ue.frag_outstanding = false;
+      ue.frag_retries = 0;
+      ue.frag_guard.cancel();
+      send_diag_fragments(ue);
     }
     return;
   }
   // Genuine synch failure: restart authentication with a fresh vector.
-  if (registration_pending_) start_authentication(true);
+  if (ue.registration_pending) start_authentication(ue, true);
 }
 
-void CoreNetwork::handle_service_request(const nas::ServiceRequest&) {
-  if (!registered_) {
+void CoreNetwork::handle_service_request(UeContext& ue,
+                                         const nas::ServiceRequest&) {
+  if (!ue.registered) {
     nas::ServiceReject rej;
     rej.cause = mm(MmCause::kUeIdentityCannotBeDerived);
-    send(nas::NasMessage(rej));
+    send(ue, nas::NasMessage(rej));
     core::FailureEvent ev;
     ev.network_initiated = true;
     ev.plane = nas::Plane::kControl;
     ev.standardized_cause = rej.cause;
-    assist(ev);
+    assist(ue, ev);
     return;
   }
-  send(nas::NasMessage(nas::ServiceAccept{}));
+  send(ue, nas::NasMessage(nas::ServiceAccept{}));
 }
 
-void CoreNetwork::reject_registration(std::uint8_t cause,
+void CoreNetwork::reject_registration(UeContext& ue, std::uint8_t cause,
                                       std::optional<std::uint32_t> t3502) {
   ++stats_.rejects_sent;
+  ++ue.stats.rejects_sent;
   cpu_.charge("failure", params::kCoreCostPerFailure);
   nas::RegistrationReject rej;
   rej.cause = cause;
   rej.t3502_seconds = t3502;
-  send(nas::NasMessage(rej));
+  send(ue, nas::NasMessage(rej));
 
   core::FailureEvent ev;
   ev.network_initiated = true;
   ev.plane = nas::Plane::kControl;
-  if (faults_.custom_cause_cp &&
+  if (ue.faults.custom_cause_cp &&
       cause == mm(MmCause::kProtocolErrorUnspecified)) {
     ev.standardized_cause = 0;
-    ev.custom_cause = *faults_.custom_cause_cp;
-    ev.custom_action = faults_.custom_action_known;
+    ev.custom_cause = *ue.faults.custom_cause_cp;
+    ev.custom_action = ue.faults.custom_action_known;
   } else {
     ev.standardized_cause = cause;
   }
-  ev.congested = faults_.congested;
-  if (const Subscriber* sub = current_sub()) {
+  ev.congested = ue.faults.congested;
+  if (const Subscriber* sub = sub_of(ue)) {
     ev.config = config_for(nas::Plane::kControl, cause, *sub);
   }
-  assist(ev);
+  assist(ue, ev);
 }
 
 // ---------------------------------------------------------------- sessions
 
 void CoreNetwork::handle_pdu_request(
-    const nas::PduSessionEstablishmentRequest& m) {
+    UeContext& ue, const nas::PduSessionEstablishmentRequest& m) {
   cpu_.charge("procedure", params::kCoreCostPerProcedure / 4);
-  Subscriber* sub = current_sub();
+  Subscriber* sub = sub_of(ue);
   if (sub == nullptr) return;
 
   // ---- SEED uplink report path (DIAG DNN with payload labels).
   if (proto::DiagDnnCodec::is_diag(m.dnn) && m.dnn.labels().size() > 1) {
-    if (!seed_enabled_ || !seed_ctx_) {
-      reject_pdu(m.hdr, sm(SmCause::kMissingOrUnknownDnn));
+    if (!seed_enabled_ || !ue.seed_ctx) {
+      reject_pdu(ue, m.hdr, sm(SmCause::kMissingOrUnknownDnn));
       return;
     }
-    const auto frame = report_reassembler_.feed(m.dnn);
+    const auto frame = ue.report_reassembler.feed(m.dnn);
     if (frame) {
       const auto plain =
-          seed_ctx_->unprotect(*frame, crypto::Direction::kUplink);
+          ue.seed_ctx->unprotect(*frame, crypto::Direction::kUplink);
       if (plain) {
         const auto report = proto::FailureReport::decode(*plain);
         if (report) {
           ++stats_.diag_reports_rx;
+          ++ue.stats.diag_reports_rx;
           cpu_.charge("diagnosis", params::kCoreCostPerDiagnosis);
-          handle_diag_report(*report, m.hdr);
+          handle_diag_report(ue, *report, m.hdr);
           return;
         }
       }
     }
     // Mid-fragment or bad frame: ACK with a reject either way (Fig. 7b).
-    reject_pdu(m.hdr, sm(SmCause::kRequestRejectedUnspecified));
+    reject_pdu(ue, m.hdr, sm(SmCause::kRequestRejectedUnspecified));
     return;
   }
 
@@ -315,40 +389,40 @@ void CoreNetwork::handle_pdu_request(
   const bool is_diag_session = dnn == "DIAG";
 
   if (!is_diag_session) {
-    if (!registered_) {
-      reject_pdu(m.hdr, sm(SmCause::kMessageNotCompatibleWithState));
+    if (!ue.registered) {
+      reject_pdu(ue, m.hdr, sm(SmCause::kMessageNotCompatibleWithState));
       return;
     }
     if (!sub->plan_active) {
       // Expired data plan: recovery needs user action (§3.1).
-      reject_pdu(m.hdr, sm(SmCause::kUserAuthenticationFailed));
+      reject_pdu(ue, m.hdr, sm(SmCause::kUserAuthenticationFailed));
       return;
     }
-    if (faults_.custom_cause_dp && m.hdr.pdu_session_id == 1) {
+    if (ue.faults.custom_cause_dp && m.hdr.pdu_session_id == 1) {
       // Cured only by a whole-module data-plane reset: the DATA session
       // re-establishes while a companion session (DIAG or swap) holds the
       // context (Fig. 6 / make-before-break). Plain retries on the same
       // broken context do not qualify.
       bool companion_up = false;
-      for (const auto& [psi, sess] : sessions_) {
+      for (const auto& [psi, sess] : ue.sessions) {
         if (psi != m.hdr.pdu_session_id) companion_up = true;
       }
       const bool fresh_registration =
-          reg_gen_ > faults_.custom_dp_armed_reg_gen;
+          ue.reg_gen > ue.faults.custom_dp_armed_reg_gen;
       if (companion_up || fresh_registration) {
-        faults_.custom_cause_dp.reset();
+        ue.faults.custom_cause_dp.reset();
       } else {
-        reject_pdu(m.hdr, sm(SmCause::kProtocolErrorUnspecified));
+        reject_pdu(ue, m.hdr, sm(SmCause::kProtocolErrorUnspecified));
         return;
       }
     }
     if (!db_.dnn_known(dnn)) {
-      reject_pdu(m.hdr, sm(SmCause::kMissingOrUnknownDnn));
+      reject_pdu(ue, m.hdr, sm(SmCause::kMissingOrUnknownDnn));
       return;
     }
     const auto& allowed = sub->subscribed_dnns;
     if (std::find(allowed.begin(), allowed.end(), dnn) == allowed.end()) {
-      reject_pdu(m.hdr, sm(SmCause::kServiceOptionNotSubscribed));
+      reject_pdu(ue, m.hdr, sm(SmCause::kServiceOptionNotSubscribed));
       return;
     }
     if (m.snssai) {
@@ -358,43 +432,46 @@ void CoreNetwork::handle_pdu_request(
       const auto& slices = sub->subscribed_slices;
       if (std::find(slices.begin(), slices.end(), *m.snssai) ==
           slices.end()) {
-        reject_pdu(m.hdr, sm(SmCause::kMissingOrUnknownDnnInSlice));
+        reject_pdu(ue, m.hdr, sm(SmCause::kMissingOrUnknownDnnInSlice));
         return;
       }
     }
     if (!sub->allowed_types.contains(m.type)) {
-      reject_pdu(m.hdr, m.type == nas::PduSessionType::kIpv6
-                            ? sm(SmCause::kPduTypeIpv4OnlyAllowed)
-                            : sm(SmCause::kUnknownPduSessionType));
+      reject_pdu(ue, m.hdr, m.type == nas::PduSessionType::kIpv6
+                                ? sm(SmCause::kPduTypeIpv4OnlyAllowed)
+                                : sm(SmCause::kUnknownPduSessionType));
       return;
     }
-    if (faults_.congested) {
+    if (ue.faults.congested) {
       // Congestion rejects carry a short back-off timer (TS 24.501
       // T3396-style), so even legacy devices re-try promptly.
-      reject_pdu(m.hdr, sm(SmCause::kInsufficientResources),
+      reject_pdu(ue, m.hdr, sm(SmCause::kInsufficientResources),
                  static_cast<std::uint32_t>(rng_.uniform_int(2, 6)));
       return;
     }
-    if (sessions_.size() >= sub->max_sessions) {
-      reject_pdu(m.hdr, sm(SmCause::kInsufficientResources));
+    if (ue.sessions.size() >= sub->max_sessions) {
+      reject_pdu(ue, m.hdr, sm(SmCause::kInsufficientResources));
       return;
     }
   }
 
-  // Accept.
+  // Accept. Each UE gets its own /24 (third octet = UeId) so addresses
+  // never collide across the fleet; the primary keeps the 10.45.0.x of
+  // the single-UE core.
   PduSession s;
   s.psi = m.hdr.pdu_session_id;
   s.dnn = dnn;
   s.type = m.type;
-  s.ue_addr = nas::Ipv4{{10, 45, 0, next_ip_suffix_++}};
+  s.ue_addr = nas::Ipv4{{10, 45, static_cast<std::uint8_t>(ue.id),
+                         ue.next_ip_suffix++}};
   s.dns_addr = carrier_dns();
   s.is_diag = is_diag_session;
-  const auto prev = sessions_.find(s.psi);
-  s.generation = prev == sessions_.end() ? 1 : prev->second.generation + 1;
+  const auto prev = ue.sessions.find(s.psi);
+  s.generation = prev == ue.sessions.end() ? 1 : prev->second.generation + 1;
   // A freshly established DATA session carries fresh gateway state.
-  if (!s.is_diag) faults_.stale_session = false;
-  sessions_[s.psi] = s;
-  gnb_.add_bearer(s.psi);
+  if (!s.is_diag) ue.faults.stale_session = false;
+  ue.sessions[s.psi] = s;
+  ue.gnb->add_bearer(s.psi);
 
   nas::PduSessionEstablishmentAccept acc;
   acc.hdr = m.hdr;
@@ -402,105 +479,108 @@ void CoreNetwork::handle_pdu_request(
   acc.ue_addr = s.ue_addr;
   acc.dns_addr = s.dns_addr;
   acc.qos = nas::QosRule{9, 100000, 500000};
-  send(nas::NasMessage(acc));
+  send(ue, nas::NasMessage(acc));
 }
 
-void CoreNetwork::reject_pdu(const nas::SmHeader& hdr, std::uint8_t cause,
+void CoreNetwork::reject_pdu(UeContext& ue, const nas::SmHeader& hdr,
+                             std::uint8_t cause,
                              std::optional<std::uint32_t> backoff) {
   ++stats_.rejects_sent;
+  ++ue.stats.rejects_sent;
   cpu_.charge("failure", params::kCoreCostPerFailure);
   nas::PduSessionEstablishmentReject rej;
   rej.hdr = hdr;
   rej.cause = cause;
   rej.backoff_seconds = backoff;
-  send(nas::NasMessage(rej));
+  send(ue, nas::NasMessage(rej));
 
   core::FailureEvent ev;
   ev.network_initiated = true;
   ev.plane = nas::Plane::kData;
-  if (faults_.custom_cause_dp &&
+  if (ue.faults.custom_cause_dp &&
       cause == sm(SmCause::kProtocolErrorUnspecified)) {
     ev.standardized_cause = 0;
-    ev.custom_cause = *faults_.custom_cause_dp;
-    ev.custom_action = faults_.custom_action_known;
+    ev.custom_cause = *ue.faults.custom_cause_dp;
+    ev.custom_action = ue.faults.custom_action_known;
   } else {
     ev.standardized_cause = cause;
   }
-  ev.congested = faults_.congested;
-  if (const Subscriber* sub = current_sub()) {
+  ev.congested = ue.faults.congested;
+  if (const Subscriber* sub = sub_of(ue)) {
     ev.config = config_for(nas::Plane::kData, cause, *sub);
   }
-  assist(ev);
+  assist(ue, ev);
 }
 
-void CoreNetwork::handle_pdu_release(const nas::PduSessionReleaseRequest& m) {
-  const auto it = sessions_.find(m.hdr.pdu_session_id);
-  if (it == sessions_.end()) {
+void CoreNetwork::handle_pdu_release(UeContext& ue,
+                                     const nas::PduSessionReleaseRequest& m) {
+  const auto it = ue.sessions.find(m.hdr.pdu_session_id);
+  if (it == ue.sessions.end()) {
     nas::PduSessionModificationReject rej;
     rej.hdr = m.hdr;
     rej.cause = sm(SmCause::kPduSessionDoesNotExist);
-    send(nas::NasMessage(rej));
+    send(ue, nas::NasMessage(rej));
     return;
   }
-  sessions_.erase(it);
+  ue.sessions.erase(it);
   nas::PduSessionReleaseCommand cmd;
   cmd.hdr = m.hdr;
-  send(nas::NasMessage(cmd));
-  const bool was_last = gnb_.release_bearer(m.hdr.pdu_session_id);
+  send(ue, nas::NasMessage(cmd));
+  const bool was_last = ue.gnb->release_bearer(m.hdr.pdu_session_id);
   if (was_last) {
     // Last-bearer rule: UE context goes with the RRC connection.
-    registered_ = false;
+    ue.registered = false;
   }
 }
 
 void CoreNetwork::handle_pdu_modification(
-    const nas::PduSessionModificationRequest& m) {
-  const auto it = sessions_.find(m.hdr.pdu_session_id);
-  if (it == sessions_.end()) {
+    UeContext& ue, const nas::PduSessionModificationRequest& m) {
+  const auto it = ue.sessions.find(m.hdr.pdu_session_id);
+  if (it == ue.sessions.end()) {
     nas::PduSessionModificationReject rej;
     rej.hdr = m.hdr;
     rej.cause = sm(SmCause::kPduSessionDoesNotExist);
-    send(nas::NasMessage(rej));
+    send(ue, nas::NasMessage(rej));
     return;
   }
   nas::PduSessionModificationCommand cmd;
   cmd.hdr = m.hdr;
   cmd.tft = m.tft;
   cmd.qos = m.qos;
-  send(nas::NasMessage(cmd));
+  send(ue, nas::NasMessage(cmd));
 }
 
-void CoreNetwork::make_sessions_stale() {
-  faults_.stale_session = true;
-  for (auto& [_, s] : sessions_) {
+void CoreNetwork::make_sessions_stale(UeId id) {
+  UeContext& ue = context(id);
+  ue.faults.stale_session = true;
+  for (auto& [_, s] : ue.sessions) {
     if (!s.is_diag) s.stale = true;
   }
 }
 
-bool CoreNetwork::session_active(std::uint8_t psi) const {
-  const auto it = sessions_.find(psi);
-  return it != sessions_.end() && !it->second.stale;
+bool CoreNetwork::session_active(UeId id, std::uint8_t psi) const {
+  const UeContext& ue = context(id);
+  const auto it = ue.sessions.find(psi);
+  return it != ue.sessions.end() && !it->second.stale;
 }
 
-const PduSession* CoreNetwork::session(std::uint8_t psi) const {
-  const auto it = sessions_.find(psi);
-  return it == sessions_.end() ? nullptr : &it->second;
+const PduSession* CoreNetwork::session(UeId id, std::uint8_t psi) const {
+  const UeContext& ue = context(id);
+  const auto it = ue.sessions.find(psi);
+  return it == ue.sessions.end() ? nullptr : &it->second;
 }
 
-bool CoreNetwork::upf_allows(nas::IpProtocol proto,
+bool CoreNetwork::upf_allows(UeId id, nas::IpProtocol proto,
                              std::uint16_t port) const {
-  if (effective_policy_.blocked_ports.contains(port)) return false;
-  if (proto == nas::IpProtocol::kTcp && effective_policy_.tcp_blocked) {
-    return false;
-  }
-  if (proto == nas::IpProtocol::kUdp && effective_policy_.udp_blocked) {
-    return false;
-  }
+  const TrafficPolicy& pol = context(id).effective_policy;
+  if (pol.blocked_ports.contains(port)) return false;
+  if (proto == nas::IpProtocol::kTcp && pol.tcp_blocked) return false;
+  if (proto == nas::IpProtocol::kUdp && pol.udp_blocked) return false;
   return true;
 }
 
-bool CoreNetwork::dns_resolves(const nas::Ipv4& server) const {
-  if (effective_policy_.dns_blocked) return false;
+bool CoreNetwork::dns_resolves(UeId id, const nas::Ipv4& server) const {
+  if (context(id).effective_policy.dns_blocked) return false;
   if (server == backup_dns()) return true;
   if (server == carrier_dns()) return dns_up_;
   return false;
@@ -550,95 +630,108 @@ std::optional<proto::ConfigPayload> CoreNetwork::config_for(
   return proto::ConfigPayload{kind, w.bytes()};
 }
 
-void CoreNetwork::assist(const core::FailureEvent& event) {
-  if (!seed_enabled_ || !seed_ctx_) return;
+void CoreNetwork::assist(UeContext& ue, const core::FailureEvent& event) {
+  if (!seed_enabled_ || !ue.seed_ctx) return;
   cpu_.charge("diagnosis", params::kCoreCostPerDiagnosis);
-  const auto advice = core::classify_failure(event, learner_, rng_);
+  // Explicit cache invalidation on subscriber/config mutation: the db's
+  // epoch moves on every provisioning change, and stale entries must not
+  // outlive the state they were computed from (the keyed digests already
+  // guarantee that independently — see DiagnosisCache).
+  if (diag_cache_ && db_.mutation_epoch() != diag_cache_epoch_) {
+    diag_cache_->invalidate();
+    diag_cache_epoch_ = db_.mutation_epoch();
+  }
+  const auto advice =
+      core::classify_failure_cached(event, learner_, rng_, diag_cache_.get());
   if (!advice.diag) return;
 
   ++stats_.diag_downlinks;
+  ++ue.stats.diag_downlinks;
   const Bytes frame =
-      seed_ctx_->protect(advice.diag->encode(), crypto::Direction::kDownlink);
-  pending_frags_ = proto::AutnCodec::fragment(frame);
+      ue.seed_ctx->protect(advice.diag->encode(), crypto::Direction::kDownlink);
+  ue.pending_frags = proto::AutnCodec::fragment(frame);
   SLOG(kInfo, "core") << "assistance -> SIM (cause #"
                       << int(advice.diag->cause) << ", "
-                      << pending_frags_.size() << " AUTN fragment(s))";
-  next_frag_ = 0;
-  frag_outstanding_ = false;
-  frag_retries_ = 0;
-  frag_guard_.cancel();
-  diag_prep_start_ = sim_.now();
+                      << ue.pending_frags.size() << " AUTN fragment(s))";
+  ue.next_frag = 0;
+  ue.frag_outstanding = false;
+  ue.frag_retries = 0;
+  ue.frag_guard.cancel();
+  ue.diag_prep_start = sim_.now();
   // Downlink prep latency (metric collection + encode + crypto), Fig. 12.
   const auto prep = sim::secs_f(rng_.lognormal_median(
       sim::to_seconds(params::kDownlinkPrepMedian), params::kPrepSigma));
-  sim_.schedule_after(prep, [this] {
-    diag_prep_ms_.push_back(sim::to_ms(sim_.now() - diag_prep_start_));
-    diag_send_start_ = sim_.now();
-    send_diag_fragments();
+  sim_.schedule_after(prep, [this, &ue] {
+    diag_prep_ms_.push_back(sim::to_ms(sim_.now() - ue.diag_prep_start));
+    ue.diag_send_start = sim_.now();
+    send_diag_fragments(ue);
   });
 }
 
-void CoreNetwork::send_diag_fragments() {
-  if (next_frag_ >= pending_frags_.size()) {
-    if (!pending_frags_.empty()) {
+void CoreNetwork::send_diag_fragments(UeContext& ue) {
+  if (ue.next_frag >= ue.pending_frags.size()) {
+    if (!ue.pending_frags.empty()) {
       // Final fragment just got ACKed: transfer complete (Fig. 12 trans).
-      diag_trans_ms_.push_back(sim::to_ms(sim_.now() - diag_send_start_));
+      diag_trans_ms_.push_back(sim::to_ms(sim_.now() - ue.diag_send_start));
       SLOG(kDebug, "core") << "assistance downlink delivered";
       obs::emit_collab_downlink(diag_prep_ms_.back(), diag_trans_ms_.back());
       obs::count("seed.collab.downlink");
     }
-    pending_frags_.clear();
-    next_frag_ = 0;
+    ue.pending_frags.clear();
+    ue.next_frag = 0;
     return;
   }
   nas::AuthenticationRequest req;
   req.ngksi = 0;
   req.rand = proto::kDFlag;
-  req.autn = pending_frags_[next_frag_++];
-  frag_outstanding_ = true;
-  send(nas::NasMessage(req));
+  req.autn = ue.pending_frags[ue.next_frag++];
+  ue.frag_outstanding = true;
+  send(ue, nas::NasMessage(req));
   if (chaos_ != nullptr) {
     // Impaired channel: the fragment (or its ACK) may be lost; retransmit
     // if the synch-failure ACK does not arrive in time.
-    frag_guard_.arm(params::kDiagFragAckGuard, [this] { on_frag_guard(); });
+    ue.frag_guard.arm(params::kDiagFragAckGuard,
+                      [this, &ue] { on_frag_guard(ue); });
   }
   // Last fragment: once ACKed the transfer is complete; cleared on the
   // next synch-failure ACK via handle_auth_failure -> send_diag_fragments.
 }
 
-void CoreNetwork::on_frag_guard() {
-  if (pending_frags_.empty() || !frag_outstanding_) return;
-  if (++frag_retries_ > params::kDiagFragMaxRetries) {
+void CoreNetwork::on_frag_guard(UeContext& ue) {
+  if (ue.pending_frags.empty() || !ue.frag_outstanding) return;
+  if (++ue.frag_retries > params::kDiagFragMaxRetries) {
     SLOG(kWarn, "core") << "assistance downlink abandoned (fragment "
-                        << next_frag_ << "/" << pending_frags_.size()
+                        << ue.next_frag << "/" << ue.pending_frags.size()
                         << " unacked after " << params::kDiagFragMaxRetries
                         << " retries)";
     obs::count("core.diag_downlink_abandoned");
-    pending_frags_.clear();
-    next_frag_ = 0;
-    frag_outstanding_ = false;
-    frag_retries_ = 0;
+    ue.pending_frags.clear();
+    ue.next_frag = 0;
+    ue.frag_outstanding = false;
+    ue.frag_retries = 0;
     return;
   }
   nas::AuthenticationRequest req;
   req.ngksi = 0;
   req.rand = proto::kDFlag;
-  req.autn = pending_frags_[next_frag_ - 1];
-  send(nas::NasMessage(req));
-  frag_guard_.arm(params::kDiagFragAckGuard, [this] { on_frag_guard(); });
+  req.autn = ue.pending_frags[ue.next_frag - 1];
+  send(ue, nas::NasMessage(req));
+  ue.frag_guard.arm(params::kDiagFragAckGuard,
+                    [this, &ue] { on_frag_guard(ue); });
 }
 
-void CoreNetwork::handle_diag_report(const proto::FailureReport& report,
+void CoreNetwork::handle_diag_report(UeContext& ue,
+                                     const proto::FailureReport& report,
                                      const nas::SmHeader& hdr) {
   SLOG(kDebug, "core") << "uplink diagnosis report received (type "
                        << int(static_cast<std::uint8_t>(report.type)) << ")";
   obs::count("seed.reports_rx");
-  Subscriber* sub = current_sub();
+  Subscriber* sub = sub_of(ue);
   // ACK the report with a reject (Fig. 7b).
   nas::PduSessionEstablishmentReject ack;
   ack.hdr = hdr;
   ack.cause = sm(SmCause::kRequestRejectedUnspecified);
-  send(nas::NasMessage(ack));
+  send(ue, nas::NasMessage(ack));
   if (sub == nullptr) return;
 
   // Validate the report against the *intended* user policy (§4.4.2): when
@@ -647,14 +740,14 @@ void CoreNetwork::handle_diag_report(const proto::FailureReport& report,
   bool fixed_policy = false;
   switch (report.type) {
     case proto::FailureType::kTcp:
-      if (effective_policy_.tcp_blocked && !sub->policy.tcp_blocked) {
-        effective_policy_.tcp_blocked = false;
+      if (ue.effective_policy.tcp_blocked && !sub->policy.tcp_blocked) {
+        ue.effective_policy.tcp_blocked = false;
         fixed_policy = true;
       }
       break;
     case proto::FailureType::kUdp:
-      if (effective_policy_.udp_blocked && !sub->policy.udp_blocked) {
-        effective_policy_.udp_blocked = false;
+      if (ue.effective_policy.udp_blocked && !sub->policy.udp_blocked) {
+        ue.effective_policy.udp_blocked = false;
         fixed_policy = true;
       }
       break;
@@ -662,24 +755,24 @@ void CoreNetwork::handle_diag_report(const proto::FailureReport& report,
     case proto::FailureType::kNoConnection:
       break;
   }
-  if (report.port && effective_policy_.blocked_ports.contains(*report.port) &&
+  if (report.port && ue.effective_policy.blocked_ports.contains(*report.port) &&
       !sub->policy.blocked_ports.contains(*report.port)) {
-    effective_policy_.blocked_ports.erase(*report.port);
+    ue.effective_policy.blocked_ports.erase(*report.port);
     fixed_policy = true;
   }
 
   const bool dns_failure = report.type == proto::FailureType::kDns;
-  const bool stale = faults_.stale_session;
+  const bool stale = ue.faults.stale_session;
 
   if (dns_failure && !dns_up_) {
     // Configure a backup DNS in the follow-up modification (B3, §4.4.2).
-    for (auto& [psi, s] : sessions_) {
+    for (auto& [psi, s] : ue.sessions) {
       if (!s.is_diag) s.dns_addr = backup_dns();
     }
     nas::PduSessionModificationCommand cmd;
     cmd.hdr = {1, 0};
     cmd.dns_addr = backup_dns();
-    send(nas::NasMessage(cmd));
+    send(ue, nas::NasMessage(cmd));
     ++stats_.fast_dplane_resets;
     return;
   }
@@ -688,7 +781,7 @@ void CoreNetwork::handle_diag_report(const proto::FailureReport& report,
     // Config-only fix: modify the existing DATA bearer instead of a reset.
     nas::PduSessionModificationCommand cmd;
     cmd.hdr = {1, 0};
-    send(nas::NasMessage(cmd));
+    send(ue, nas::NasMessage(cmd));
     ++stats_.fast_dplane_resets;
     return;
   }

@@ -1,18 +1,29 @@
 // Simulated 5G core (AMF + AUSF + SMF + UPF) with the SEED diagnosis
 // plugin (paper §6: "We extend the Magma 5G NSA core with a plugin").
 //
-// The core speaks real NAS wire bytes (nas/messages.h) to one device per
-// link, runs real 5G-AKA (crypto/milenage.h), validates session requests
-// against the subscriber database (producing the standardized SM causes),
-// and — when SEED is enabled — classifies every failure with the Fig. 8
-// tree and ships assistance info over the DFlag Authentication Request
-// channel. The DIAG-DNN uplink report path and the Fig. 6 fast data-plane
-// reset are handled in the SMF hook.
+// The core speaks real NAS wire bytes (nas/messages.h) to N concurrently
+// attached devices (one UeContext per SUPI, in the spirit of Magma's
+// shared-state AGW), runs real 5G-AKA (crypto/milenage.h), validates
+// session requests against the subscriber database (producing the
+// standardized SM causes), and — when SEED is enabled — classifies every
+// failure with the Fig. 8 tree and ships assistance info over the DFlag
+// Authentication Request channel. The DIAG-DNN uplink report path and the
+// Fig. 6 fast data-plane reset are handled in the SMF hook.
+//
+// Multi-UE model: each attached device gets a UeId (0, 1, 2, ...) and a
+// per-SUPI connection context — security context, GUTI, PDU sessions,
+// fault overrides, the SEED downlink transfer state. UeId 0 is the
+// "primary" UE; the id-less accessors below address it, so single-UE
+// testbeds read exactly as before. The Fig. 8 tree is amortized across
+// all attached UEs by an optional DiagnosisCache (enable_diag_cache), and
+// the online-learning NetRecord is naturally shared: one subscriber's
+// confirmed diagnosis warms the next subscriber's assistance.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -39,7 +50,10 @@ class ChaosEngine;
 
 namespace seed::corenet {
 
-/// Injectable failure conditions (per subscriber). Config-related faults
+/// Index of an attached device within one core instance.
+using UeId = std::uint32_t;
+
+/// Injectable failure conditions (per attached UE). Config-related faults
 /// (outdated DNN etc.) are *not* listed here — they arise naturally when
 /// the device's configuration disagrees with the SubscriberDb truth.
 struct Faults {
@@ -88,7 +102,8 @@ struct PduSession {
   bool is_diag = false;
 };
 
-/// Counters for the overhead experiments (Fig. 11a).
+/// Core-wide counters for the overhead experiments (Fig. 11a); summed
+/// over every attached UE.
 struct CoreStats {
   std::uint64_t nas_rx = 0;
   std::uint64_t nas_tx = 0;
@@ -99,10 +114,22 @@ struct CoreStats {
   std::uint64_t fast_dplane_resets = 0;
 };
 
+/// Per-UE slice of the same counters (isolation tests, fleet benches).
+struct UeStats {
+  std::uint64_t nas_rx = 0;
+  std::uint64_t nas_tx = 0;
+  std::uint64_t rejects_sent = 0;
+  std::uint64_t diag_downlinks = 0;
+  std::uint64_t diag_reports_rx = 0;
+};
+
 class CoreNetwork {
  public:
+  /// `gnb` is the radio path of the primary UE (UeId 0); additional UEs
+  /// attach with their own gNB link via the three-argument attach_device.
   CoreNetwork(sim::Simulator& sim, sim::Rng& rng, SubscriberDb& db,
               ran::Gnb& gnb, metrics::CpuMeter& cpu);
+  ~CoreNetwork();
 
   /// Enables the SEED plugin (diagnosis assistance + report handling).
   void enable_seed(bool on) { seed_enabled_ = on; }
@@ -111,124 +138,189 @@ class CoreNetwork {
   /// arrives. With no engine the guard is never armed and the downlink
   /// event sequence matches the unimpaired core exactly.
   void set_chaos(chaos::ChaosEngine* chaos) { chaos_ = chaos; }
-  /// Online learner shared across the operator's network (§5.3).
+  /// Online learner shared across the operator's network (§5.3) — and,
+  /// on a multi-UE core, across every attached subscriber.
   void set_learner(core::NetRecord* learner) { learner_ = learner; }
 
-  // ----- wiring (one device per core instance in this testbed)
+  /// Shared diagnosis-result cache (§5.2 amortization): the Fig. 8 tree
+  /// runs once per distinct failure shape instead of once per reject.
+  /// Off by default; single-UE benches keep the tree on every event.
+  void enable_diag_cache(bool on);
+  /// Null unless enable_diag_cache(true) was called.
+  const core::DiagnosisCache* diag_cache() const { return diag_cache_.get(); }
+
+  // ----- wiring (N devices per core; UeId 0 is the primary)
+  /// Attaches a device on its own gNB link; returns its UeId. Attaching
+  /// a SUPI that is already attached rebinds that UE's link in place.
+  UeId attach_device(const std::string& supi, ran::Gnb& gnb,
+                     std::function<void(Bytes)> downlink);
+  /// Single-UE convenience: primary UE on the constructor's gNB.
   void attach_device(const std::string& supi,
                      std::function<void(Bytes)> downlink);
-  void on_uplink(BytesView wire);
+  void on_uplink(UeId ue, BytesView wire);
+  void on_uplink(BytesView wire) { on_uplink(kPrimary, wire); }
+  std::size_t ue_count() const { return ues_.size(); }
+  /// SUPI of an attached UE (empty when out of range).
+  const std::string& ue_supi(UeId ue) const;
 
-  // ----- fault injection
-  Faults& faults() { return faults_; }
-  /// Breaks the carrier LDNS (delivery failure class DNS).
+  // ----- fault injection (per-UE; the id-less forms address the primary)
+  Faults& faults(UeId ue);
+  Faults& faults() { return faults(kPrimary); }
+  /// Breaks the carrier LDNS (delivery failure class DNS) — carrier-wide,
+  /// every attached UE resolves through the same LDNS.
   void set_dns_up(bool up) { dns_up_ = up; }
   bool dns_up() const { return dns_up_; }
   /// Installs an erroneous traffic policy (delivery failure class
   /// TCP/UDP blocking); the intended policy stays in the SubscriberDb.
-  void set_effective_policy(const TrafficPolicy& p) { effective_policy_ = p; }
-  const TrafficPolicy& effective_policy() const { return effective_policy_; }
+  void set_effective_policy(UeId ue, const TrafficPolicy& p);
+  void set_effective_policy(const TrafficPolicy& p) {
+    set_effective_policy(kPrimary, p);
+  }
+  const TrafficPolicy& effective_policy(UeId ue = kPrimary) const;
   /// Marks established sessions stale (outdated gateway state).
-  void make_sessions_stale();
+  void make_sessions_stale(UeId ue);
+  void make_sessions_stale() { make_sessions_stale(kPrimary); }
   /// SMF loses the device's session contexts (Table 1 #50-style state
   /// desync); the device must re-request its sessions.
-  void drop_sessions() { sessions_.clear(); }
+  void drop_sessions(UeId ue);
+  void drop_sessions() { drop_sessions(kPrimary); }
   /// Bumps on every completed registration.
-  std::uint64_t registration_generation() const { return reg_gen_; }
+  std::uint64_t registration_generation(UeId ue = kPrimary) const;
 
   // ----- UPF queries (used by the transport engine)
-  bool session_active(std::uint8_t psi) const;
-  const PduSession* session(std::uint8_t psi) const;
-  bool upf_allows(nas::IpProtocol proto, std::uint16_t port) const;
+  bool session_active(UeId ue, std::uint8_t psi) const;
+  bool session_active(std::uint8_t psi) const {
+    return session_active(kPrimary, psi);
+  }
+  const PduSession* session(UeId ue, std::uint8_t psi) const;
+  const PduSession* session(std::uint8_t psi) const {
+    return session(kPrimary, psi);
+  }
+  bool upf_allows(UeId ue, nas::IpProtocol proto, std::uint16_t port) const;
+  bool upf_allows(nas::IpProtocol proto, std::uint16_t port) const {
+    return upf_allows(kPrimary, proto, port);
+  }
   /// DNS resolution works iff the queried server is the live carrier LDNS
   /// or the public backup server SEED may configure.
-  bool dns_resolves(const nas::Ipv4& server) const;
+  bool dns_resolves(UeId ue, const nas::Ipv4& server) const;
+  bool dns_resolves(const nas::Ipv4& server) const {
+    return dns_resolves(kPrimary, server);
+  }
 
   // ----- SIM record upload (online learning OTA path, Algorithm 1 l.6)
   void upload_sim_records(const std::vector<core::SimRecordStore::Entry>& e);
 
   // ----- stats
   const CoreStats& stats() const { return stats_; }
+  const UeStats& ue_stats(UeId ue) const;
   /// Fig. 12 downlink instrumentation: per-transfer preparation and
-  /// transmission latencies in milliseconds.
+  /// transmission latencies in milliseconds (core-wide, append order).
   const std::vector<double>& diag_prep_ms() const { return diag_prep_ms_; }
   const std::vector<double>& diag_trans_ms() const { return diag_trans_ms_; }
-  bool device_registered() const { return registered_; }
+  bool device_registered(UeId ue = kPrimary) const;
 
   /// Carrier LDNS / backup DNS addresses.
   static nas::Ipv4 carrier_dns() { return nas::Ipv4{{10, 45, 0, 1}}; }
   static nas::Ipv4 backup_dns() { return nas::Ipv4{{9, 9, 9, 9}}; }
 
  private:
-  // message handlers
-  void handle_registration(const nas::RegistrationRequest& m);
-  void handle_auth_response(const nas::AuthenticationResponse& m);
-  void handle_auth_failure(const nas::AuthenticationFailure& m);
-  void handle_smc_complete();
-  void handle_service_request(const nas::ServiceRequest& m);
-  void handle_pdu_request(const nas::PduSessionEstablishmentRequest& m);
-  void handle_pdu_release(const nas::PduSessionReleaseRequest& m);
-  void handle_pdu_modification(const nas::PduSessionModificationRequest& m);
+  static constexpr UeId kPrimary = 0;
+
+  /// Everything the AMF/SMF/SEED plugin keeps per attached subscriber.
+  struct UeContext {
+    UeContext(sim::Simulator& sim, UeId id) : id(id), frag_guard(sim) {}
+
+    UeId id;
+    std::string supi;
+    ran::Gnb* gnb = nullptr;
+    std::function<void(Bytes)> downlink;
+
+    // AMF state
+    bool registered = false;
+    std::uint64_t reg_gen = 0;
+    bool awaiting_smc = false;
+    bool registration_pending = false;
+    std::optional<Bytes> expected_res;
+
+    // SMF sessions
+    std::map<std::uint8_t, PduSession> sessions;
+    std::uint8_t next_ip_suffix = 2;
+
+    // SEED plugin state
+    std::optional<crypto::SecurityContext> seed_ctx;
+    std::vector<std::array<std::uint8_t, 16>> pending_frags;
+    std::size_t next_frag = 0;
+    /// True while the latest fragment awaits its synch-failure ACK; a
+    /// duplicated fragment earns two ACKs and only the first advances.
+    bool frag_outstanding = false;
+    int frag_retries = 0;
+    sim::TimePoint diag_prep_start{};
+    sim::TimePoint diag_send_start{};
+    proto::DiagDnnCodec::Reassembler report_reassembler;
+    sim::Timer frag_guard;  // armed only when a chaos engine is attached
+
+    // UPF / faults
+    Faults faults;
+    TrafficPolicy effective_policy;
+
+    UeStats stats;
+  };
+
+  // message handlers (each bound to the UE whose link carried the bytes)
+  void handle_registration(UeContext& ue, const nas::RegistrationRequest& m);
+  void handle_auth_response(UeContext& ue,
+                            const nas::AuthenticationResponse& m);
+  void handle_auth_failure(UeContext& ue, const nas::AuthenticationFailure& m);
+  void handle_smc_complete(UeContext& ue);
+  void handle_service_request(UeContext& ue, const nas::ServiceRequest& m);
+  void handle_pdu_request(UeContext& ue,
+                          const nas::PduSessionEstablishmentRequest& m);
+  void handle_pdu_release(UeContext& ue,
+                          const nas::PduSessionReleaseRequest& m);
+  void handle_pdu_modification(UeContext& ue,
+                               const nas::PduSessionModificationRequest& m);
 
   // SEED plugin
-  void assist(const core::FailureEvent& event);
-  void send_diag_fragments();
-  void on_frag_guard();
-  void handle_diag_report(const proto::FailureReport& report,
+  void assist(UeContext& ue, const core::FailureEvent& event);
+  void send_diag_fragments(UeContext& ue);
+  void on_frag_guard(UeContext& ue);
+  void handle_diag_report(UeContext& ue, const proto::FailureReport& report,
                           const nas::SmHeader& hdr);
 
   // helpers
-  void send(const nas::NasMessage& msg);
-  void reject_registration(std::uint8_t cause,
+  void send(UeContext& ue, const nas::NasMessage& msg);
+  void reject_registration(UeContext& ue, std::uint8_t cause,
                            std::optional<std::uint32_t> t3502 = {});
-  void reject_pdu(const nas::SmHeader& hdr, std::uint8_t cause,
+  void reject_pdu(UeContext& ue, const nas::SmHeader& hdr, std::uint8_t cause,
                   std::optional<std::uint32_t> backoff = {});
-  Subscriber* current_sub();
+  Subscriber* sub_of(const UeContext& ue) { return db_.find(ue.supi); }
   std::optional<proto::ConfigPayload> config_for(
       nas::Plane plane, std::uint8_t cause, const Subscriber& sub) const;
-  void start_authentication(bool for_registration);
-  void complete_registration();
+  void start_authentication(UeContext& ue, bool for_registration);
+  void complete_registration(UeContext& ue);
+  UeContext& context(UeId ue);
+  const UeContext& context(UeId ue) const;
 
   sim::Simulator& sim_;
   sim::Rng& rng_;
   SubscriberDb& db_;
-  ran::Gnb& gnb_;
+  ran::Gnb& gnb_;  // primary UE's radio path (back-compat attach)
   metrics::CpuMeter& cpu_;
   core::NetRecord* learner_ = nullptr;
   bool seed_enabled_ = false;
 
-  std::string supi_;
-  std::function<void(Bytes)> downlink_;
+  /// Attached UEs, indexed by UeId (unique_ptr: contexts own a Timer and
+  /// must stay address-stable for the callbacks that capture them).
+  std::vector<std::unique_ptr<UeContext>> ues_;
+  std::map<std::string, UeId, std::less<>> supi_to_ue_;
 
-  // AMF per-UE state
-  bool registered_ = false;
-  std::uint64_t reg_gen_ = 0;
-  bool awaiting_smc_ = false;
-  bool registration_pending_ = false;
-  std::optional<Bytes> expected_res_;
-
-  // SMF sessions
-  std::map<std::uint8_t, PduSession> sessions_;
-  std::uint8_t next_ip_suffix_ = 2;
-
-  // SEED plugin state
-  std::optional<crypto::SecurityContext> seed_ctx_;
-  std::vector<std::array<std::uint8_t, 16>> pending_frags_;
-  std::size_t next_frag_ = 0;
-  /// True while the latest fragment awaits its synch-failure ACK; a
-  /// duplicated fragment earns two ACKs and only the first advances.
-  bool frag_outstanding_ = false;
-  int frag_retries_ = 0;
-  sim::TimePoint diag_prep_start_{};
-  sim::TimePoint diag_send_start_{};
-  proto::DiagDnnCodec::Reassembler report_reassembler_;
   chaos::ChaosEngine* chaos_ = nullptr;
-  sim::Timer frag_guard_;  // armed only when a chaos engine is attached
-
-  // UPF / faults
-  Faults faults_;
-  TrafficPolicy effective_policy_;
   bool dns_up_ = true;
+
+  /// Shared diagnosis-result cache; the db mutation epoch it was last
+  /// validated against drives explicit invalidation.
+  std::unique_ptr<core::DiagnosisCache> diag_cache_;
+  std::uint64_t diag_cache_epoch_ = 0;
 
   CoreStats stats_;
   std::vector<double> diag_prep_ms_;

@@ -5,6 +5,7 @@ namespace seed::corenet {
 Subscriber& SubscriberDb::add(Subscriber s) {
   for (const auto& d : s.subscribed_dnns) known_dnns_.insert(d);
   auto [it, _] = subs_.insert_or_assign(s.supi, std::move(s));
+  ++mutation_epoch_;
   return it->second;
 }
 
@@ -19,10 +20,19 @@ const Subscriber* SubscriberDb::find(const std::string& supi) const {
 }
 
 Subscriber* SubscriberDb::find_by_guti(const nas::Guti& guti) {
-  for (auto& [_, s] : subs_) {
-    if (s.guti && *s.guti == guti) return &s;
-  }
+  const auto it = guti_index_.find(guti.tmsi);
+  if (it == guti_index_.end()) return nullptr;
+  Subscriber* s = find(it->second);
+  // The TMSI matched but the rest of the GUTI must too (region/set/PLMN
+  // mismatches mean a stale identity from another registration area).
+  if (s != nullptr && s->guti && *s->guti == guti) return s;
   return nullptr;
+}
+
+void SubscriberDb::assign_guti(Subscriber& sub, const nas::Guti& guti) {
+  if (sub.guti) guti_index_.erase(sub.guti->tmsi);
+  sub.guti = guti;
+  guti_index_[guti.tmsi] = sub.supi;
 }
 
 Subscriber* SubscriberDb::find_by_msin(const std::string& msin) {

@@ -57,8 +57,15 @@ class SubscriberDb {
   Subscriber* find(const std::string& supi);
   const Subscriber* find(const std::string& supi) const;
   /// Reverse lookup by GUTI (nullptr when the mapping was lost — the
-  /// "UE identity cannot be derived" desync of paper Table 1).
+  /// "UE identity cannot be derived" desync of paper Table 1). Served
+  /// from the TMSI index kept by assign_guti, so a core with thousands
+  /// of attached UEs resolves identities in O(log n).
   Subscriber* find_by_guti(const nas::Guti& guti);
+
+  /// Assigns a fresh GUTI, replacing the subscriber's old one in the
+  /// TMSI index. All GUTI (re)assignments must go through here or
+  /// find_by_guti will miss.
+  void assign_guti(Subscriber& sub, const nas::Guti& guti);
 
   /// Lookup by the MSIN digits of a SUCI. The SUCI's PLMN field carries
   /// the *selected* network in this simulation, so identity resolution
@@ -68,15 +75,36 @@ class SubscriberDb {
   /// True when any subscriber may use this DNN (unknown vs unsubscribed
   /// distinguishes SM cause #27 from #33).
   bool dnn_known(const std::string& dnn) const;
-  void register_known_dnn(const std::string& dnn) { known_dnns_.insert(dnn); }
+  void register_known_dnn(const std::string& dnn) {
+    known_dnns_.insert(dnn);
+    ++mutation_epoch_;
+  }
   /// Operator deprovisions a DNN network-wide (scenario hook).
-  void forget_dnn(const std::string& dnn) { known_dnns_.erase(dnn); }
+  void forget_dnn(const std::string& dnn) {
+    known_dnns_.erase(dnn);
+    ++mutation_epoch_;
+  }
 
   std::size_t size() const { return subs_.size(); }
+
+  // ----- mutation epoch (diagnosis-cache invalidation, ccache-style)
+  //
+  // Cached diagnosis results are only valid for the subscriber/config
+  // state they were computed against. Provisioning mutations bump this
+  // epoch; callers that mutate a Subscriber in place (scenario hooks,
+  // operator heals) must call note_subscriber_mutation() so caches keyed
+  // on the old state are explicitly invalidated. The diagnosis cache
+  // additionally digests every classify input, so a missed bump degrades
+  // to a harmless extra key, never a stale payload.
+  std::uint64_t mutation_epoch() const { return mutation_epoch_; }
+  void note_subscriber_mutation() { ++mutation_epoch_; }
 
  private:
   std::map<std::string, Subscriber> subs_;
   std::set<std::string> known_dnns_ = {"internet", "ims", "DIAG"};
+  /// TMSI -> SUPI index behind find_by_guti.
+  std::map<std::uint32_t, std::string> guti_index_;
+  std::uint64_t mutation_epoch_ = 0;
 };
 
 }  // namespace seed::corenet

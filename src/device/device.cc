@@ -23,14 +23,17 @@ Device::Device(sim::Simulator& sim, sim::Rng& rng, ran::Gnb& gnb,
       sim, rng, options.profile, options.k, options.opc, options.seed_key);
   applet_->enable_seed(options.scheme != Scheme::kLegacy);
 
+  // Attach before building the modem so the uplink closure can carry our
+  // UeId (the first device to attach becomes the core's primary, UeId 0,
+  // so single-device testbeds behave exactly as before).
+  ue_id_ = core.attach_device(options.profile.suci.to_string(), gnb,
+                              [this](Bytes wire) { modem_->on_downlink(wire); });
   modem_ = std::make_unique<modem::Modem>(
       sim, rng, *applet_, gnb,
-      [&core](Bytes wire) { core.on_uplink(wire); });
-  core.attach_device(options.profile.suci.to_string(),
-                     [this](Bytes wire) { modem_->on_downlink(wire); });
+      [&core, id = ue_id_](Bytes wire) { core.on_uplink(id, wire); });
 
   traffic_ = std::make_unique<transport::TrafficEngine>(sim, rng, *modem_,
-                                                        core);
+                                                        core, ue_id_);
   android_ = std::make_unique<android::AndroidOs>(sim, rng, *traffic_,
                                                   *modem_);
   carrier_ = std::make_unique<android::CarrierApp>(

@@ -58,6 +58,8 @@ class Device {
   }
 
   Scheme scheme() const { return options_.scheme; }
+  /// This device's index on the core it attached to.
+  corenet::UeId ue_id() const { return ue_id_; }
   std::uint64_t user_notifications() const { return user_notifications_; }
 
   /// Recovery watchdog (chaos hardening): when a handled failure has not
@@ -90,6 +92,7 @@ class Device {
   sim::Simulator& sim_;
   sim::Rng& rng_;
   DeviceOptions options_;
+  corenet::UeId ue_id_ = 0;
   std::unique_ptr<applet::SeedApplet> applet_;
   std::unique_ptr<modem::Modem> modem_;
   std::unique_ptr<transport::TrafficEngine> traffic_;

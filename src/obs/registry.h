@@ -115,6 +115,17 @@ inline void observe(std::string_view name, double v) {
   r.histogram(name).observe(v);
 }
 
+/// Prometheus-style per-UE series name ("fleet.injections{ue=7}"). Every
+/// distinct label mints a separate series — fleet-scale callers should
+/// keep these behind the registry's enabled() gate.
+inline std::string ue_series(std::string_view name, std::uint32_t ue) {
+  std::string s(name);
+  s += "{ue=";
+  s += std::to_string(ue);
+  s += '}';
+  return s;
+}
+
 /// Installs a Simulator probe exporting event-loop gauges
 /// (`seed.sim.queue_depth`, `seed.sim.events_processed`) and a queue-depth
 /// histogram, sampled every `every_n` processed events.

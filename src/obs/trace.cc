@@ -204,6 +204,7 @@ void Tracer::record_now(Event e) {
   if (e.kind == EventKind::kFailureInjected) begin_span();
   if (e.span == 0) e.span = active_span_;
   e.at_us = now_ ? now_->time_since_epoch().count() : 0;
+  if (e.ue == 0 && ue_source_ != nullptr) e.ue = *ue_source_;
   if (e.action != 0 && e.tier == 0) e.tier = tier_of_action(e.action);
   events_.push_back(std::move(e));
 }
@@ -229,6 +230,8 @@ void Tracer::export_jsonl(std::ostream& os) const {
        << ",\"cause\":" << int(e.cause) << ",\"action\":" << int(e.action)
        << ",\"tier\":" << int(e.tier) << ",\"ok\":" << (e.ok ? "true" : "false")
        << ",\"prep_ms\":" << e.prep_ms << ",\"trans_ms\":" << e.trans_ms;
+    // Emitted only when labelled, so single-UE exports stay byte-stable.
+    if (e.ue != 0) os << ",\"ue\":" << e.ue;
     if (!e.detail.empty()) {
       os << ",\"detail\":\"";
       write_escaped(os, e.detail);
@@ -267,6 +270,8 @@ std::vector<Event> Tracer::import_jsonl(std::istream& is) {
       e.ok = rest->rfind("true", 0) == 0;
     if (const auto v = num_field(line, "prep_ms")) e.prep_ms = *v;
     if (const auto v = num_field(line, "trans_ms")) e.trans_ms = *v;
+    if (const auto v = num_field(line, "ue"))
+      e.ue = static_cast<std::uint32_t>(*v);
     if (auto d = str_field(line, "detail")) e.detail = std::move(*d);
     out.push_back(std::move(e));
   }

@@ -79,6 +79,10 @@ struct Event {
   SpanId span = 0;
   EventKind kind = EventKind::kLog;
   std::int64_t at_us = 0;  // simulated time (µs since sim epoch)
+  /// UE label in multi-UE experiments (1-based device index; 0 = the
+  /// single-UE / unattributed steady state). Stamped automatically from
+  /// the simulator's context tag when a source is set.
+  std::uint32_t ue = 0;
   Origin origin = Origin::kNone;
   std::uint8_t plane = 0;   // 0 = control, 1 = data
   std::uint8_t cause = 0;   // standardized or customized cause code
@@ -149,6 +153,11 @@ class Tracer {
   /// pointer must outlive the tracer's use, exactly like Logger's.
   void set_clock(const sim::TimePoint* now);
 
+  /// Points the tracer at the simulator's context-tag cell (see
+  /// Simulator::current_tag_ref); recorded events whose `ue` is 0 are
+  /// stamped with the tag's current value. Pass nullptr to detach.
+  void set_ue_source(const std::uint32_t* tag) { ue_source_ = tag; }
+
   /// Opens a new failure span and makes it the active one. Events
   /// recorded without an explicit span attach to the active span.
   SpanId begin_span();
@@ -192,6 +201,7 @@ class Tracer {
   Tracer() = default;
   bool enabled_ = false;
   const sim::TimePoint* now_ = nullptr;
+  const std::uint32_t* ue_source_ = nullptr;
   SpanId next_span_ = 1;
   SpanId active_span_ = 0;
   std::vector<Event> events_;

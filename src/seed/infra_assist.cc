@@ -79,11 +79,11 @@ AssistAdvice classify_failure_impl(const FailureEvent& event,
   advice.diag = d;
   return advice;
 }
-}  // namespace
 
-AssistAdvice classify_failure(const FailureEvent& event, NetRecord* learner,
-                              sim::Rng& rng) {
-  AssistAdvice advice = classify_failure_impl(event, learner, rng);
+// Shared by the tree and the cache-hit path so both produce the same
+// log line and trace event — a cached diagnosis is observably identical
+// to a computed one.
+void log_and_emit(const AssistAdvice& advice) {
   if (advice.diag) {
     SLOG(kDebug, "infra") << "diagnosis for cause #" << int(advice.diag->cause)
                           << (advice.diag->config ? " + config" : "");
@@ -97,6 +97,105 @@ AssistAdvice classify_failure(const FailureEvent& event, NetRecord* learner,
     SLOG(kDebug, "infra") << "delivery report -> network d-plane reset";
     obs::emit_diagnosis(obs::Origin::kInfra, 1, 0, 0);
   }
+}
+}  // namespace
+
+AssistAdvice classify_failure(const FailureEvent& event, NetRecord* learner,
+                              sim::Rng& rng) {
+  AssistAdvice advice = classify_failure_impl(event, learner, rng);
+  log_and_emit(advice);
+  return advice;
+}
+
+// --------------------------------------------------------- DiagnosisCache
+
+bool DiagnosisCache::cacheable(const FailureEvent& event,
+                               const NetRecord* learner) {
+  // The only impure branch of Fig. 8: an active unstandardized failure
+  // with no operator-known action consults the online learner, whose
+  // sigmoid gate draws the RNG and whose answer evolves as records are
+  // crowdsourced. Everything else is a pure function of the event.
+  const bool consults_learner = event.network_initiated &&
+                                event.standardized_cause == 0 &&
+                                !event.custom_action && learner != nullptr;
+  return !consults_learner;
+}
+
+std::uint64_t DiagnosisCache::digest(const FailureEvent& event) {
+  // FNV-1a, folding in every field classify_failure reads.
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  const auto mix = [&h](std::uint64_t v) {
+    // Mix all 8 bytes so multi-byte fields (counts, waits) fully land.
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 0x100000001b3ull;
+    }
+  };
+  mix(event.network_initiated ? 1 : 0);
+  mix(event.device_responded ? 1 : 0);
+  mix(event.sim_reported_delivery ? 1 : 0);
+  mix(static_cast<std::uint64_t>(event.plane));
+  mix(event.standardized_cause);
+  mix(event.custom_cause);
+  mix(event.custom_action
+          ? 0x100ull | static_cast<std::uint64_t>(*event.custom_action)
+          : 0ull);
+  mix(event.congested ? 1 : 0);
+  mix(event.congestion_wait_s);
+  if (event.config) {
+    mix(0x200ull | static_cast<std::uint64_t>(event.config->kind));
+    mix(event.config->value.size());
+    for (const std::uint8_t b : event.config->value) mix(b);
+  } else {
+    mix(0x300ull);
+  }
+  return h;
+}
+
+DiagnosisCache::Key DiagnosisCache::key_of(const FailureEvent& event) {
+  Key k;
+  k.plane = static_cast<std::uint8_t>(event.plane);
+  k.standardized_cause = event.standardized_cause;
+  k.custom_cause = event.custom_cause;
+  k.context_digest = digest(event);
+  return k;
+}
+
+const AssistAdvice* DiagnosisCache::lookup(const FailureEvent& event) {
+  const auto it = entries_.find(key_of(event));
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  return &it->second;
+}
+
+void DiagnosisCache::insert(const FailureEvent& event, AssistAdvice advice) {
+  entries_.insert_or_assign(key_of(event), std::move(advice));
+}
+
+void DiagnosisCache::invalidate() {
+  entries_.clear();
+  ++stats_.invalidations;
+}
+
+AssistAdvice classify_failure_cached(const FailureEvent& event,
+                                     NetRecord* learner, sim::Rng& rng,
+                                     DiagnosisCache* cache) {
+  if (cache == nullptr) return classify_failure(event, learner, rng);
+  if (!DiagnosisCache::cacheable(event, learner)) {
+    cache->note_bypass();
+    return classify_failure(event, learner, rng);
+  }
+  if (const AssistAdvice* hit = cache->lookup(event)) {
+    log_and_emit(*hit);
+    return *hit;
+  }
+  // lookup() above already counted the miss; run the tree once and keep
+  // the result for every later failure with the same shape.
+  AssistAdvice advice = classify_failure(event, learner, rng);
+  cache->insert(event, advice);
   return advice;
 }
 

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <optional>
 
 #include "common/bytes.h"
@@ -53,5 +54,80 @@ struct AssistAdvice {
 /// causes without known actions; pass nullptr to disable online learning.
 AssistAdvice classify_failure(const FailureEvent& event, NetRecord* learner,
                               sim::Rng& rng);
+
+/// Keyed, invalidation-correct cache of Fig. 8 results, in the spirit of
+/// ccache: the key is (cause codes, plane, digest of *every* classify
+/// input, including the raw config-payload bytes derived from the
+/// subscriber record), so a hit replays exactly the payload the tree
+/// would produce — byte-identical assistance, amortized across the UEs
+/// attached to one core. Events that would consult the stochastic
+/// online-learning gate (Algorithm 1 draws the RNG) are never cached:
+/// caching them would freeze the exploration policy.
+///
+/// Correctness has two layers, deliberately redundant:
+///  1. keyed digests — a subscriber/config change alters the config
+///     payload and therefore the key, so stale entries can never be
+///     returned even with no invalidation at all;
+///  2. explicit invalidation — the owner calls invalidate() whenever the
+///     SubscriberDb mutation epoch moves, keeping the cache from
+///     accumulating dead keys and making the invalidation contract
+///     auditable (the Stats counter records each wipe).
+class DiagnosisCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t bypasses = 0;       // stochastic events, never cached
+    std::uint64_t invalidations = 0;  // explicit wipes
+    double hit_rate() const {
+      const std::uint64_t total = hits + misses;
+      return total == 0 ? 0.0 : static_cast<double>(hits) /
+                                    static_cast<double>(total);
+    }
+  };
+
+  /// False for events whose classification is not a pure function of the
+  /// event — i.e. the custom-cause path that consults the online
+  /// learner's sigmoid gate (it draws `rng` and evolves with the model).
+  static bool cacheable(const FailureEvent& event, const NetRecord* learner);
+
+  /// FNV-1a digest over every field classify_failure reads.
+  static std::uint64_t digest(const FailureEvent& event);
+
+  /// nullptr on miss; a stable pointer (valid until the next insert or
+  /// invalidate) on hit. Counts the lookup either way.
+  const AssistAdvice* lookup(const FailureEvent& event);
+  void insert(const FailureEvent& event, AssistAdvice advice);
+
+  /// Drops every entry (subscriber/config mutation). Stats survive.
+  void invalidate();
+
+  /// Bookkeeping for uncacheable events routed around the cache.
+  void note_bypass() { ++stats_.bypasses; }
+
+  const Stats& stats() const { return stats_; }
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  struct Key {
+    std::uint8_t plane = 0;
+    std::uint8_t standardized_cause = 0;
+    CustomCause custom_cause = 0;
+    std::uint64_t context_digest = 0;
+    auto operator<=>(const Key&) const = default;
+  };
+  static Key key_of(const FailureEvent& event);
+
+  std::map<Key, AssistAdvice> entries_;
+  Stats stats_;
+};
+
+/// classify_failure with a read-through cache. A null `cache` (or an
+/// uncacheable event) falls through to the tree; hits emit the same log
+/// line and trace event the tree would, so cached and uncached runs
+/// produce identical observability streams as well as identical payloads.
+AssistAdvice classify_failure_cached(const FailureEvent& event,
+                                     NetRecord* learner, sim::Rng& rng,
+                                     DiagnosisCache* cache);
 
 }  // namespace seed::core

@@ -19,6 +19,7 @@ TimerId Simulator::schedule_at(TimePoint t, Callback cb) {
   s.cb = std::move(cb);
   s.at = t;
   s.seq = seq_++;
+  s.tag = current_tag_;
   s.live = true;
   heap_.push_back(HeapKey{t, s.seq, slot});
   std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
@@ -70,6 +71,7 @@ bool Simulator::pop_one() {
   std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
   heap_.pop_back();
   Callback cb = std::move(slab_[top.slot].cb);
+  const std::uint32_t tag = slab_[top.slot].tag;
   release(top.slot);
   now_ = top.at;
   ++processed_;
@@ -79,7 +81,9 @@ bool Simulator::pop_one() {
   if (probe_ && processed_ % probe_every_ == 0) {
     probe_(live_count_, processed_);
   }
+  current_tag_ = tag;
   cb();
+  current_tag_ = 0;
   return true;
 }
 

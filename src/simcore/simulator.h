@@ -92,12 +92,44 @@ class Simulator {
     probe_every_ = every_n_events > 0 ? every_n_events : 1;
   }
 
+  // ----- context tag (per-UE attribution in multi-UE experiments)
+  //
+  // An opaque 32-bit tag that rides along the event graph: schedule_at
+  // captures the tag current at schedule time, and while an event's
+  // callback runs the simulator restores that captured tag. Set once
+  // around a root action (e.g. powering UE #7 on) and every transitively
+  // scheduled callback — modem timers, core handlers, applet plans —
+  // carries the same tag with zero per-layer plumbing. Tag 0 means
+  // "untagged" and is the steady state of single-UE runs.
+  std::uint32_t current_tag() const { return current_tag_; }
+  void set_current_tag(std::uint32_t tag) { current_tag_ = tag; }
+  /// Stable address of the current tag, for observers (the tracer) that
+  /// must not depend on the simulator's type.
+  const std::uint32_t* current_tag_ref() const { return &current_tag_; }
+
+  /// RAII tag scope for root actions.
+  class TagScope {
+   public:
+    TagScope(Simulator& sim, std::uint32_t tag)
+        : sim_(sim), prev_(sim.current_tag()) {
+      sim_.set_current_tag(tag);
+    }
+    ~TagScope() { sim_.set_current_tag(prev_); }
+    TagScope(const TagScope&) = delete;
+    TagScope& operator=(const TagScope&) = delete;
+
+   private:
+    Simulator& sim_;
+    std::uint32_t prev_;
+  };
+
  private:
   struct Slot {
     Callback cb;
     TimePoint at = kTimeZero;
     std::uint64_t seq = 0;       // schedule sequence; globally unique
     std::uint32_t gen = 0;       // bumped on release; part of the TimerId
+    std::uint32_t tag = 0;       // context tag captured at schedule time
     bool live = false;
   };
 
@@ -157,6 +189,7 @@ class Simulator {
   bool pop_one();  // executes the next live event; false if none
 
   TimePoint now_ = kTimeZero;
+  std::uint32_t current_tag_ = 0;
   std::uint64_t seq_ = 0;
   bool stopped_ = false;
   std::uint64_t processed_ = 0;

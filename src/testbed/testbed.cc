@@ -54,6 +54,9 @@ Testbed::Testbed(std::uint64_t seed, Scheme scheme)
   // One timestamp source for logs and trace events (set_clock forwards to
   // the logger), plus event-loop gauges when the registry is enabled.
   obs::Tracer::instance().set_clock(&sim_.now_ref());
+  // Single-device harness: spans carry no per-UE tag (and a previous
+  // MultiTestbed's tag source must not dangle into this run).
+  obs::Tracer::instance().set_ue_source(nullptr);
   obs::observe_simulator(sim_);
   gnb_ = std::make_unique<ran::Gnb>(sim_, rng_);
   core_ = std::make_unique<corenet::CoreNetwork>(sim_, rng_, db_, *gnb_,
@@ -167,6 +170,7 @@ Outcome Testbed::run_cp_failure(CpFailure f, sim::Duration timeout) {
       break;
     case CpFailure::kUnauthorized:
       sub->authorized = false;
+      db_.note_subscriber_mutation();
       break;
     case CpFailure::kCongestion: {
       faults.congested = true;
@@ -223,6 +227,7 @@ Outcome Testbed::run_dp_failure(DpFailure f, sim::Duration timeout) {
       // the operator re-allows the old DNN (config propagation, minutes);
       // SEED ships the new DNN with cause #33.
       sub->subscribed_dnns = {"internet.v2"};
+      db_.note_subscriber_mutation();
       heal_after_s = rng_.lognormal_median(dp_heal_median_s, 1.25);
       break;
     case DpFailure::kUnknownDnn:
@@ -231,7 +236,7 @@ Outcome Testbed::run_dp_failure(DpFailure f, sim::Duration timeout) {
       // reboot re-reads the same broken value; only the operator-side
       // re-provisioning (heal) or SEED's suggested DNN recovers.
       sub->subscribed_dnns = {"internet.v2"};
-      db_.forget_dnn("internet");
+      db_.forget_dnn("internet");  // forget_dnn bumps the mutation epoch
       heal_after_s = rng_.lognormal_median(dp_heal_median_s, 1.25);
       break;
     case DpFailure::kOutdatedSlice:
@@ -240,10 +245,12 @@ Outcome Testbed::run_dp_failure(DpFailure f, sim::Duration timeout) {
       // slice (Appendix-A suggested S-NSSAI); legacy waits for the
       // operator to re-enable the old slice.
       sub->subscribed_slices = {nas::SNssai{2, 0x0000a1}};
+      db_.note_subscriber_mutation();
       heal_after_s = rng_.lognormal_median(dp_heal_median_s, 1.25);
       break;
     case DpFailure::kExpiredPlan:
       sub->plan_active = false;
+      db_.note_subscriber_mutation();
       break;
     case DpFailure::kCongestion: {
       faults.congested = true;
@@ -265,9 +272,11 @@ Outcome Testbed::run_dp_failure(DpFailure f, sim::Duration timeout) {
       if (s == nullptr) return;
       if (slice_heal) {
         s->subscribed_slices.push_back(nas::SNssai{1, std::nullopt});
+        db_.note_subscriber_mutation();
       } else {
-        db_.register_known_dnn("internet");
+        db_.register_known_dnn("internet");  // bumps the mutation epoch
         s->subscribed_dnns.push_back("internet");
+        db_.note_subscriber_mutation();
       }
     });
   }

@@ -9,22 +9,23 @@ constexpr std::size_t kMaxEvents = 4096;
 }
 
 TrafficEngine::TrafficEngine(sim::Simulator& sim, sim::Rng& rng,
-                             modem::Modem& modem, corenet::CoreNetwork& core)
-    : sim_(sim), rng_(rng), modem_(modem), core_(core) {}
+                             modem::Modem& modem, corenet::CoreNetwork& core,
+                             corenet::UeId ue)
+    : sim_(sim), rng_(rng), modem_(modem), core_(core), ue_(ue) {}
 
 bool TrafficEngine::session_up() const {
   return modem_.data_connected() &&
-         core_.session_active(modem::Modem::kDataPsi);
+         core_.session_active(ue_, modem::Modem::kDataPsi);
 }
 
 bool TrafficEngine::dns_healthy() const {
-  return session_up() && core_.dns_resolves(modem_.dns_addr()) &&
-         core_.upf_allows(nas::IpProtocol::kUdp, 53);
+  return session_up() && core_.dns_resolves(ue_, modem_.dns_addr()) &&
+         core_.upf_allows(ue_, nas::IpProtocol::kUdp, 53);
 }
 
 bool TrafficEngine::path_allows(nas::IpProtocol proto,
                                 std::uint16_t port) const {
-  return session_up() && core_.upf_allows(proto, port);
+  return session_up() && core_.upf_allows(ue_, proto, port);
 }
 
 bool TrafficEngine::path_healthy() const {

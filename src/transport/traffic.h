@@ -29,8 +29,10 @@ struct FlowEvent {
 
 class TrafficEngine {
  public:
+  /// `ue` selects which attached UE's sessions/policy the flows ride
+  /// (defaults to the core's primary UE for single-device testbeds).
   TrafficEngine(sim::Simulator& sim, sim::Rng& rng, modem::Modem& modem,
-                corenet::CoreNetwork& core);
+                corenet::CoreNetwork& core, corenet::UeId ue = 0);
 
   /// DNS lookup against the modem's configured resolver. Success answers
   /// in ~tens of ms; failure burns the full DNS timeout.
@@ -67,6 +69,7 @@ class TrafficEngine {
   sim::Rng& rng_;
   modem::Modem& modem_;
   corenet::CoreNetwork& core_;
+  corenet::UeId ue_ = 0;
   std::deque<FlowEvent> events_;
   int dns_consecutive_timeouts_ = 0;
   sim::TimePoint last_dns_event_{};

@@ -1,0 +1,216 @@
+// Property tests for the shared diagnosis cache (§5.2 amortization):
+// cached and uncached Fig. 8 classification must be byte-identical over
+// randomized failure contexts, including across cache invalidations
+// triggered by subscriber mutations mid-stream.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/codec.h"
+#include "corenet/subscriber.h"
+#include "nas/causes.h"
+#include "nas/ie.h"
+#include "seed/infra_assist.h"
+#include "seed/online_learning.h"
+#include "simcore/rng.h"
+#include "testbed/testbed.h"
+
+namespace seed::core {
+namespace {
+
+using proto::ResetAction;
+
+// Flattens an AssistAdvice to comparable wire bytes: the encoded DiagInfo
+// (exactly what the core protects and fragments to the SIM) plus the
+// reset-trigger flag.
+Bytes payload_of(const AssistAdvice& a) {
+  Bytes b;
+  if (a.diag) b = a.diag->encode();
+  b.push_back(a.trigger_dplane_reset ? 1 : 0);
+  return b;
+}
+
+// Randomized Fig. 8 input covering every branch. `dnn` stands in for the
+// subscriber-derived config input — "mutating the subscriber's DNNs"
+// changes these bytes, exactly like CoreNetwork::config_for would.
+FailureEvent random_event(sim::Rng& rng, const std::string& dnn) {
+  FailureEvent e;
+  e.network_initiated = rng.chance(0.7);
+  e.device_responded = rng.chance(0.9);
+  e.sim_reported_delivery = rng.chance(0.3);
+  e.plane = rng.chance(0.5) ? nas::Plane::kControl : nas::Plane::kData;
+  static const std::uint8_t kCauses[] = {0,  3,  9,  11, 22, 26,
+                                         27, 29, 33, 70, 98, 111};
+  e.standardized_cause = kCauses[rng.uniform_int(0, 11)];
+  e.custom_cause = static_cast<CustomCause>(rng.uniform_int(0xc0, 0xcf));
+  if (rng.chance(0.25)) {
+    e.custom_action = static_cast<ResetAction>(rng.uniform_int(1, 6));
+  }
+  e.congested = rng.chance(0.2);
+  e.congestion_wait_s = static_cast<std::uint16_t>(rng.uniform_int(5, 120));
+  if (rng.chance(0.5)) {
+    Writer w;
+    nas::Dnn(dnn).encode(w);
+    e.config = proto::ConfigPayload{nas::ConfigKind::kSuggestedDnn,
+                                    w.bytes()};
+  }
+  return e;
+}
+
+NetRecord seeded_learner() {
+  NetRecord learner(0.05);
+  // Enough crowd-sourced mass that suggest() fires often but not always,
+  // keeping the sigmoid gate's RNG draw in play.
+  learner.absorb_one(0xc1, ResetAction::kB2CPlaneReattach, 20);
+  learner.absorb_one(0xc7, ResetAction::kB1ModemReset, 3);
+  learner.absorb_one(0xcd, ResetAction::kA3DPlaneConfigUpdate, 60);
+  return learner;
+}
+
+TEST(DiagCacheProperty, CachedMatchesUncachedOver1kRandomContexts) {
+  // Two independent but identically-seeded worlds: one classifies through
+  // the cache, the other runs the tree every time. The learner-consulting
+  // branch draws the RNG on *exactly* the events the cache bypasses, so
+  // the two RNG streams stay in lockstep and every payload must match.
+  sim::Rng gen(0x5eed);
+  sim::Rng rng_uncached(7), rng_cached(7);
+  NetRecord learner_uncached = seeded_learner();
+  NetRecord learner_cached = seeded_learner();
+  DiagnosisCache cache;
+
+  std::string dnn = "internet";
+  std::vector<FailureEvent> pool;  // earlier events, replayed for hits
+  for (int i = 0; i < 1000; ++i) {
+    if (i == 300 || i == 700) {
+      // Subscriber DNN mutation mid-stream: the config input changes and
+      // the owner explicitly invalidates (CoreNetwork does this off the
+      // SubscriberDb mutation epoch).
+      dnn = i == 300 ? "internet.v2" : "ims.roam";
+      cache.invalidate();
+    }
+    // A city repeats itself: ~30% of failures are contexts some other
+    // subscriber already hit (that repetition is what the cache earns
+    // its keep on); the rest are fresh draws.
+    const bool replay = !pool.empty() && gen.chance(0.3);
+    const FailureEvent e = replay
+                               ? pool[static_cast<std::size_t>(gen.uniform_int(
+                                     0, static_cast<int>(pool.size()) - 1))]
+                               : random_event(gen, dnn);
+    if (!replay) pool.push_back(e);
+    const AssistAdvice uncached =
+        classify_failure(e, &learner_uncached, rng_uncached);
+    const AssistAdvice cached =
+        classify_failure_cached(e, &learner_cached, rng_cached, &cache);
+    ASSERT_EQ(payload_of(uncached), payload_of(cached))
+        << "divergence at event " << i;
+  }
+  const auto& st = cache.stats();
+  EXPECT_EQ(st.invalidations, 2u);
+  EXPECT_GT(st.hits, 0u);
+  EXPECT_GT(st.misses, 0u);
+  EXPECT_GT(st.bypasses, 0u);
+  // The RNG streams finished in lockstep (same number of draws).
+  EXPECT_EQ(rng_uncached.next(), rng_cached.next());
+}
+
+TEST(DiagCacheProperty, DigestCoversEveryConfigByte) {
+  sim::Rng gen(11);
+  const FailureEvent a = random_event(gen, "internet");
+  FailureEvent b = a;
+  if (!b.config) {
+    Writer w;
+    nas::Dnn("internet").encode(w);
+    b.config = proto::ConfigPayload{nas::ConfigKind::kSuggestedDnn,
+                                    w.bytes()};
+  }
+  FailureEvent c = b;
+  c.config->value.back() ^= 0x01;  // one flipped payload bit
+  EXPECT_NE(DiagnosisCache::digest(b), DiagnosisCache::digest(c));
+
+  // Keyed correctness without any invalidation: the stale-subscriber
+  // entry can never be returned for the mutated config.
+  DiagnosisCache cache;
+  sim::Rng rng(1);
+  classify_failure_cached(b, nullptr, rng, &cache);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  classify_failure_cached(c, nullptr, rng, &cache);
+  EXPECT_EQ(cache.stats().misses, 2u);  // no false hit across mutation
+  classify_failure_cached(b, nullptr, rng, &cache);
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(DiagCacheProperty, LearnerConsultingEventsAreNeverCached) {
+  FailureEvent e;
+  e.network_initiated = true;
+  e.standardized_cause = 0;  // unstandardized
+  e.custom_cause = 0xc1;     // no custom_action -> consults the learner
+  NetRecord learner = seeded_learner();
+  EXPECT_FALSE(DiagnosisCache::cacheable(e, &learner));
+  // Without a learner the same event is a pure function of its fields.
+  EXPECT_TRUE(DiagnosisCache::cacheable(e, nullptr));
+  // With an operator-known action the learner is not consulted.
+  e.custom_action = ResetAction::kB1ModemReset;
+  EXPECT_TRUE(DiagnosisCache::cacheable(e, &learner));
+
+  e.custom_action.reset();
+  DiagnosisCache cache;
+  sim::Rng rng(3);
+  classify_failure_cached(e, &learner, rng, &cache);
+  classify_failure_cached(e, &learner, rng, &cache);
+  EXPECT_EQ(cache.stats().bypasses, 2u);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(DiagCacheProperty, InvalidateDropsEntriesButKeepsStats) {
+  DiagnosisCache cache;
+  sim::Rng gen(5), rng(9);
+  for (int i = 0; i < 20; ++i) {
+    classify_failure_cached(random_event(gen, "internet"), nullptr, rng,
+                            &cache);
+  }
+  ASSERT_GT(cache.size(), 0u);
+  const auto before = cache.stats();
+  cache.invalidate();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().hits, before.hits);
+  EXPECT_EQ(cache.stats().misses, before.misses);
+  EXPECT_EQ(cache.stats().invalidations, before.invalidations + 1);
+}
+
+TEST(DiagCacheProperty, SubscriberDbBumpsMutationEpoch) {
+  corenet::SubscriberDb db;
+  const auto e0 = db.mutation_epoch();
+  corenet::Subscriber sub;
+  sub.supi = "310-260-0000000001";
+  db.add(sub);
+  EXPECT_GT(db.mutation_epoch(), e0);
+  const auto e1 = db.mutation_epoch();
+  db.register_known_dnn("edge");
+  EXPECT_GT(db.mutation_epoch(), e1);
+  const auto e2 = db.mutation_epoch();
+  db.forget_dnn("edge");
+  EXPECT_GT(db.mutation_epoch(), e2);
+  const auto e3 = db.mutation_epoch();
+  db.note_subscriber_mutation();
+  EXPECT_EQ(db.mutation_epoch(), e3 + 1);
+}
+
+TEST(DiagCacheProperty, CoreInvalidatesOnSubscriberMutation) {
+  // End-to-end: a cache-enabled core sees the db epoch move (the
+  // kOutdatedDnn scenario mutates the subscriber's DNNs and the heal
+  // re-registers the old one) and wipes between classifications.
+  testbed::Testbed tb(1234, testbed::Scheme::kSeedU);
+  tb.secondary_congestion_prob = 0.0;
+  tb.core().enable_diag_cache(true);
+  tb.bring_up();
+  const auto out = tb.run_dp_failure(testbed::DpFailure::kOutdatedDnn);
+  EXPECT_TRUE(out.recovered);
+  const DiagnosisCache* cache = tb.core().diag_cache();
+  ASSERT_NE(cache, nullptr);
+  EXPECT_GT(cache->stats().hits + cache->stats().misses, 0u);
+  EXPECT_GE(cache->stats().invalidations, 1u);
+}
+
+}  // namespace
+}  // namespace seed::core
