@@ -8,8 +8,15 @@
 // and the whole BENCH_city.json line are byte-identical run to run
 // (wall-clock throughput goes to stdout only, never into the JSON).
 //
+// The fleet health engine and per-UE flight recorder ride along as
+// strictly passive trace observers: they judge recovery/failure-rate/
+// collab/cache SLOs over rolling sim-time windows and capture blackboxes
+// for terminal failures, writing BENCH_health.json — without changing a
+// byte of BENCH_city.json.
+//
 // Usage: bench_city_storm [--ues=N] [--seed=S] [--storm-min=M]
 //                         [--no-cache] [--trace=city_trace.jsonl]
+//                         [--blackbox=city_blackbox.jsonl]
 
 #include <chrono>
 #include <cstdio>
@@ -18,6 +25,8 @@
 #include <iostream>
 #include <string>
 
+#include "obs/flight_recorder.h"
+#include "obs/health.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
 #include "testbed/multi_testbed.h"
@@ -63,10 +72,20 @@ int main(int argc, char** argv) {
   const auto storm_min = arg_of(argc, argv, "--storm-min", 10);
   const bool cache_on = !flag_of(argc, argv, "--no-cache");
   const char* trace_path = str_of(argc, argv, "--trace");
+  const char* blackbox_path = str_of(argc, argv, "--blackbox");
 
   obs::Registry::instance().clear();
   obs::Registry::instance().enable(true);
-  if (trace_path != nullptr) obs::Tracer::instance().enable(true);
+  // Per-UE label series (core.rejects{ue=N}) would mint 1k series; cap
+  // the cardinality and let the overflow bucket absorb the tail.
+  obs::Registry::instance().set_series_limit(256);
+  // The health engine and flight recorder tap the tracer, so tracing is
+  // always on; --trace only controls whether the raw stream is dumped.
+  obs::Tracer::instance().enable(true);
+  obs::HealthEngine health;
+  obs::FlightRecorder recorder(64);
+  obs::Tracer::instance().add_observer(&health);
+  obs::Tracer::instance().add_observer(&recorder);
 
   testbed::MultiOptions opts;
   opts.ue_count = n_ues;
@@ -154,10 +173,38 @@ int main(int argc, char** argv) {
        << cache_entries << "}}\n";
   std::cout << "wrote BENCH_city.json\n";
 
+  // ---- health snapshot: close the final evaluation windows and write
+  // the deterministic BENCH_health.json (sim-time only, no wall clock).
+  health.flush(sim.now().time_since_epoch().count());
+  std::size_t alerts_fired = 0;
+  for (const obs::SloStatus& s : health.status()) alerts_fired += s.fired;
+  std::cout << "health: " << health.alerts().size()
+            << " alert transitions (" << alerts_fired << " fired), "
+            << recorder.blackboxes().size() << " blackboxes, "
+            << obs::Registry::instance().series_dropped()
+            << " label series observations dropped\n";
+  std::ofstream health_json("BENCH_health.json", std::ios::trunc);
+  health_json << "{\"bench\":\"city_health\",\"ues\":" << n_ues
+              << ",\"seed\":" << seed << ",\"storm_min\":" << storm_min
+              << ",\"series_dropped\":"
+              << obs::Registry::instance().series_dropped()
+              << ",\"blackboxes\":" << recorder.blackboxes().size()
+              << ",\"health\":";
+  health.dump_json(health_json);
+  health_json << "}\n";
+  std::cout << "wrote BENCH_health.json\n";
+
+  if (blackbox_path != nullptr) {
+    std::ofstream box_out(blackbox_path, std::ios::trunc);
+    recorder.dump_jsonl(box_out);
+    std::cout << "wrote " << blackbox_path << "\n";
+  }
   if (trace_path != nullptr) {
     std::ofstream trace_out(trace_path, std::ios::trunc);
     obs::Tracer::instance().export_jsonl(trace_out);
     std::cout << "wrote " << trace_path << "\n";
   }
+  obs::Tracer::instance().remove_observer(&health);
+  obs::Tracer::instance().remove_observer(&recorder);
   return 0;
 }

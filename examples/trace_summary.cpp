@@ -1,14 +1,21 @@
 // Replays a failure-lifecycle trace (JSONL, as written by
 // Tracer::export_jsonl or SEED_TRACE=<path> on the benches) into the
-// per-failure span summary table.
+// per-failure span summary table, or — with --lifecycle — into each
+// failure's causal tree (seq/parent links) with per-stage latencies.
 //
-//   ./build/examples/trace_summary trace.jsonl     # from a file
-//   ./build/examples/trace_summary < trace.jsonl   # from stdin
-//   ./build/examples/trace_summary --demo          # generate one live
+//   ./build/examples/trace_summary trace.jsonl              # summary table
+//   ./build/examples/trace_summary --lifecycle trace.jsonl  # causal trees
+//   ./build/examples/trace_summary < trace.jsonl            # from stdin
+//   ./build/examples/trace_summary --demo                   # generate one
 //
 // --demo runs a SEED-U testbed through a control-plane and a data-plane
 // failure with the tracer on, exports the events through a JSONL
 // round-trip, and summarizes them — the full pipeline in one binary.
+//
+// Malformed JSONL lines (truncated tails of a crashed run, hand-edit
+// damage) are skipped and counted; any skipped line makes the exit code
+// 2 so scripts notice partial input, while the valid records still
+// render.
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -41,10 +48,10 @@ std::vector<obs::Event> demo_events() {
 }
 
 void print_totals(std::ostream& os, const std::vector<obs::Event>& events) {
-  std::size_t counts[static_cast<int>(obs::EventKind::kLog) + 1] = {};
+  std::size_t counts[static_cast<int>(obs::EventKind::kSloAlert) + 1] = {};
   for (const obs::Event& e : events) ++counts[static_cast<int>(e.kind)];
   os << "event totals:";
-  for (int k = 0; k <= static_cast<int>(obs::EventKind::kLog); ++k) {
+  for (int k = 0; k <= static_cast<int>(obs::EventKind::kSloAlert); ++k) {
     if (counts[k] == 0) continue;
     os << ' ' << obs::event_kind_name(static_cast<obs::EventKind>(k)) << '='
        << counts[k];
@@ -55,30 +62,56 @@ void print_totals(std::ostream& os, const std::vector<obs::Event>& events) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::vector<obs::Event> events;
-  if (argc > 1 && std::string(argv[1]) == "--demo") {
-    events = demo_events();
-  } else if (argc > 1) {
-    std::ifstream in(argv[1]);
-    if (!in) {
-      std::cerr << "trace_summary: cannot open " << argv[1] << '\n';
-      return 1;
+  bool lifecycle = false;
+  bool demo = false;
+  const char* path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--lifecycle") {
+      lifecycle = true;
+    } else if (arg == "--demo") {
+      demo = true;
+    } else {
+      path = argv[i];
     }
-    events = obs::Tracer::import_jsonl(in);
-  } else {
-    events = obs::Tracer::import_jsonl(std::cin);
   }
 
+  obs::ImportStats stats;
+  std::vector<obs::Event> events;
+  if (demo) {
+    events = demo_events();
+  } else if (path != nullptr) {
+    std::ifstream in(path);
+    if (!in) {
+      std::cerr << "trace_summary: cannot open " << path << '\n';
+      return 1;
+    }
+    events = obs::Tracer::import_jsonl(in, &stats);
+  } else {
+    events = obs::Tracer::import_jsonl(std::cin, &stats);
+  }
+
+  if (stats.malformed != 0) {
+    std::cerr << "trace_summary: skipped " << stats.malformed
+              << " malformed line(s) of " << stats.lines << '\n';
+  }
   if (events.empty()) {
     std::cerr << "trace_summary: no events (usage: trace_summary "
-                 "[trace.jsonl | --demo])\n";
-    return 1;
+                 "[--lifecycle] [trace.jsonl | --demo])\n";
+    return stats.malformed != 0 ? 2 : 1;
   }
 
   print_totals(std::cout, events);
-  const std::vector<obs::SpanSummary> spans =
-      obs::Tracer::assemble(std::move(events));
-  std::cout << "parsed " << spans.size() << " failure span(s)\n";
-  obs::Tracer::print_summary(std::cout, spans);
-  return 0;
+  if (lifecycle) {
+    const std::vector<obs::LifecycleTree> trees =
+        obs::Tracer::build_lifecycle(std::move(events));
+    std::cout << "reconstructed " << trees.size() << " lifecycle tree(s)\n";
+    obs::Tracer::print_lifecycle(std::cout, trees);
+  } else {
+    const std::vector<obs::SpanSummary> spans =
+        obs::Tracer::assemble(std::move(events));
+    std::cout << "parsed " << spans.size() << " failure span(s)\n";
+    obs::Tracer::print_summary(std::cout, spans);
+  }
+  return stats.malformed != 0 ? 2 : 0;
 }

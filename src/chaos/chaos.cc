@@ -1,5 +1,6 @@
 #include "chaos/chaos.h"
 
+#include "obs/registry.h"
 #include "obs/trace.h"
 #include "simcore/fleet_runner.h"
 
@@ -37,6 +38,11 @@ bool ChaosEngine::roll(Point point, double p) {
 
 void ChaosEngine::note(Point point) {
   obs::emit_chaos_injected(static_cast<std::uint8_t>(point));
+  obs::Registry& r = obs::Registry::instance();
+  if (r.enabled()) {
+    r.counter(obs::label_series("chaos.injected", "point", point_name(point)))
+        .inc();
+  }
 }
 
 bool ChaosEngine::drop_downlink() {

@@ -324,6 +324,11 @@ void CoreNetwork::reject_registration(UeContext& ue, std::uint8_t cause,
                                       std::optional<std::uint32_t> t3502) {
   ++stats_.rejects_sent;
   ++ue.stats.rejects_sent;
+  if (obs::Registry::instance().enabled()) {
+    // Per-UE series: unbounded at city scale, so fleet callers cap the
+    // registry (Registry::set_series_limit) and overflow aggregates.
+    obs::count(obs::ue_series("core.rejects", ue.id));
+  }
   cpu_.charge("failure", params::kCoreCostPerFailure);
   nas::RegistrationReject rej;
   rej.cause = cause;
@@ -487,6 +492,9 @@ void CoreNetwork::reject_pdu(UeContext& ue, const nas::SmHeader& hdr,
                              std::optional<std::uint32_t> backoff) {
   ++stats_.rejects_sent;
   ++ue.stats.rejects_sent;
+  if (obs::Registry::instance().enabled()) {
+    obs::count(obs::ue_series("core.rejects", ue.id));
+  }
   cpu_.charge("failure", params::kCoreCostPerFailure);
   nas::PduSessionEstablishmentReject rej;
   rej.hdr = hdr;

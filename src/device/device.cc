@@ -57,12 +57,20 @@ Device::Device(sim::Simulator& sim, sim::Rng& rng, ran::Gnb& gnb,
     SLOG(kDebug, "device") << "data connectivity "
                            << (up ? "restored" : "lost");
     if (up) {
+      if (data_loss_seen_) {
+        // A restore after a loss (never the initial attach) closes the
+        // failure's lifecycle from the device's vantage point; the
+        // testbed-level kRecovered only exists in single-UE harnesses.
+        data_loss_seen_ = false;
+        obs::emit_recovered(obs::Origin::kOs);
+      }
       applet_->notify_recovered();
       if (watchdog_) {
         watchdog_->cancel();
         watchdog_refires_ = 0;
       }
     } else {
+      data_loss_seen_ = true;
       arm_watchdog();
     }
   });
@@ -130,6 +138,9 @@ void Device::degrade_to_legacy() {
   if (watchdog_) watchdog_->cancel();
   SLOG(kWarn, "device") << "SEED path unusable, degrading to legacy "
                            "sequential retry";
+  obs::emit_terminal_failure(obs::Origin::kOs,
+                             applet_->dead() ? "applet dead"
+                                             : "watchdog exhausted");
   obs::emit_degraded(obs::Origin::kOs);
   obs::count("seed.degradations");
   android_->set_sequential_retry_enabled(true);

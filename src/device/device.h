@@ -107,6 +107,7 @@ class Device {
   std::unique_ptr<sim::Timer> watchdog_;
   int watchdog_refires_ = 0;
   bool degraded_ = false;
+  bool data_loss_seen_ = false;
   bool battery_running_ = false;
   bool battery_mobileinsight_ = false;
   std::uint64_t last_diag_count_ = 0;

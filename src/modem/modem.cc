@@ -235,6 +235,12 @@ void Modem::handle_registration_reject(const nas::RegistrationReject& m) {
   SLOG(kDebug, "modem") << "registration reject, cause #" << int(m.cause);
   obs::emit_failure_detected(obs::Origin::kModem, 0, m.cause);
   obs::count("seed.reject.cplane");
+  if (obs::Registry::instance().enabled()) {
+    // Per-cause series feed the health engine's failure-rate breakdown;
+    // gated before the label string is built.
+    obs::count(obs::label_series("seed.reject.cplane", "cause",
+                                 std::to_string(int(m.cause))));
+  }
   if (on_reject_) on_reject_(nas::Plane::kControl, m.cause);
   registration_settled(false);  // waiters fail fast; auto-retry continues
   if (!behavior_.auto_retry) return;
@@ -458,6 +464,10 @@ void Modem::handle_pdu_reject(const nas::PduSessionEstablishmentReject& m) {
                         << int(m.cause);
   obs::emit_failure_detected(obs::Origin::kModem, 1, m.cause);
   obs::count("seed.reject.dplane");
+  if (obs::Registry::instance().enabled()) {
+    obs::count(obs::label_series("seed.reject.dplane", "cause",
+                                 std::to_string(int(m.cause))));
+  }
   if (on_reject_) on_reject_(nas::Plane::kData, m.cause);
 
   if (psi != kDataPsi || !behavior_.auto_retry) {

@@ -1,0 +1,54 @@
+#include "obs/flight_recorder.h"
+
+#include <ostream>
+
+namespace seed::obs {
+
+void FlightRecorder::on_trace_event(const Event& e) {
+  if (e.kind == EventKind::kLog || e.kind == EventKind::kSloAlert) return;
+  std::deque<Event>& ring = rings_[e.ue];
+  ring.push_back(e);
+  while (ring.size() > capacity_) ring.pop_front();
+  if (e.kind != EventKind::kTerminalFailure) return;
+
+  BlackboxSnapshot box;
+  box.ue = e.ue;
+  box.at_us = e.at_us;
+  box.reason = e.detail;
+  box.events.assign(ring.begin(), ring.end());
+  blackboxes_.push_back(std::move(box));
+  // The ring keeps rolling: a UE can die twice (watchdog terminal, then
+  // a later ladder exhaustion) and each terminal gets its own blackbox.
+}
+
+void FlightRecorder::ingest(const std::vector<Event>& events) {
+  for (const Event& e : events) on_trace_event(e);
+}
+
+void FlightRecorder::merge_from(const FlightRecorder& other) {
+  blackboxes_.insert(blackboxes_.end(), other.blackboxes_.begin(),
+                     other.blackboxes_.end());
+}
+
+void FlightRecorder::dump_jsonl(std::ostream& os) const {
+  for (const BlackboxSnapshot& box : blackboxes_) {
+    os << "{\"blackbox\":{\"ue\":" << box.ue << ",\"at_us\":" << box.at_us
+       << ",\"reason\":\"";
+    // The reason came out of Event::detail; reuse the event escaper by
+    // serializing a synthetic log record? No — keep it simple and safe:
+    // reasons are fixed strings from our own emit sites.
+    for (char c : box.reason) {
+      if (c == '"' || c == '\\') os << '\\';
+      os << c;
+    }
+    os << "\",\"events\":" << box.events.size() << "}}\n";
+    for (const Event& e : box.events) export_event_jsonl(os, e);
+  }
+}
+
+void FlightRecorder::clear() {
+  rings_.clear();
+  blackboxes_.clear();
+}
+
+}  // namespace seed::obs

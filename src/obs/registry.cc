@@ -48,10 +48,38 @@ void Registry::merge_from(const Registry& other) {
   }
 }
 
+std::string Registry::admit_series(std::string_view name) {
+  const auto brace = name.find('{');
+  if (series_limit_ == 0 || brace == std::string_view::npos) {
+    return std::string(name);
+  }
+  const std::string_view base = name.substr(0, brace);
+  auto it = label_cardinality_.find(base);
+  if (it == label_cardinality_.end()) {
+    it = label_cardinality_.emplace(std::string(base), 0).first;
+  }
+  if (it->second >= series_limit_) {
+    // Route the observation into the base's shared overflow bucket so
+    // the aggregate stays right even though the label is dropped. The
+    // overflow series itself does not consume cardinality budget.
+    counters_.try_emplace("obs.series_dropped").first->second.inc();
+    std::string out(base);
+    out += "{overflow}";
+    return out;
+  }
+  ++it->second;
+  return std::string(name);
+}
+
+std::uint64_t Registry::series_dropped() const {
+  const auto it = counters_.find("obs.series_dropped");
+  return it == counters_.end() ? 0 : it->second.value();
+}
+
 Counter& Registry::counter(std::string_view name) {
   auto it = counters_.find(name);
   if (it == counters_.end()) {
-    it = counters_.emplace(std::string(name), Counter{}).first;
+    it = counters_.emplace(admit_series(name), Counter{}).first;
   }
   return it->second;
 }
@@ -59,7 +87,7 @@ Counter& Registry::counter(std::string_view name) {
 Gauge& Registry::gauge(std::string_view name) {
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
-    it = gauges_.emplace(std::string(name), Gauge{}).first;
+    it = gauges_.emplace(admit_series(name), Gauge{}).first;
   }
   return it->second;
 }
@@ -67,7 +95,7 @@ Gauge& Registry::gauge(std::string_view name) {
 Histogram& Registry::histogram(std::string_view name) {
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
-    it = histograms_.emplace(std::string(name), Histogram{}).first;
+    it = histograms_.emplace(admit_series(name), Histogram{}).first;
   }
   return it->second;
 }
@@ -134,6 +162,7 @@ void Registry::clear() {
   counters_.clear();
   gauges_.clear();
   histograms_.clear();
+  label_cardinality_.clear();
 }
 
 void observe_simulator(sim::Simulator& sim, std::uint64_t every_n) {

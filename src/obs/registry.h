@@ -13,6 +13,7 @@
 // branch.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <iosfwd>
 #include <map>
@@ -73,6 +74,17 @@ class Registry {
   Gauge& gauge(std::string_view name);
   Histogram& histogram(std::string_view name);
 
+  /// Caps label cardinality: at most `limit` distinct labeled series
+  /// ("base{label=value}") per base name; later label values route to
+  /// the shared "base{overflow}" series and bump the
+  /// `obs.series_dropped` counter. 0 (the default) = unlimited. The cap
+  /// guards fleet-scale label explosions (1k UEs × per-UE series), so
+  /// unlabeled metrics are never capped.
+  void set_series_limit(std::size_t limit) { series_limit_ = limit; }
+  std::size_t series_limit() const { return series_limit_; }
+  /// Observations routed to an overflow series so far.
+  std::uint64_t series_dropped() const;
+
   /// Prometheus text exposition: dots in names become underscores;
   /// histograms are emitted as summaries (p50/p90/p99 quantiles, _sum,
   /// _count).
@@ -93,12 +105,21 @@ class Registry {
   Registry snapshot() const { return *this; }
 
  private:
+  /// Applied when `name` does not exist yet in a family: returns the
+  /// series to create instead (the name itself, or its overflow series
+  /// once the base is at the cardinality cap).
+  std::string admit_series(std::string_view name);
+
   bool enabled_ = false;
+  std::size_t series_limit_ = 0;
   // std::map: deterministic dump order, and node stability keeps cached
   // metric handles valid across later insertions.
   std::map<std::string, Counter, std::less<>> counters_;
   std::map<std::string, Gauge, std::less<>> gauges_;
   std::map<std::string, Histogram, std::less<>> histograms_;
+  // Distinct labeled series admitted per base name (all families share
+  // one budget — base names do not collide across families in practice).
+  std::map<std::string, std::size_t, std::less<>> label_cardinality_;
 };
 
 // ----- gated convenience helpers (one branch when disabled)
@@ -115,15 +136,24 @@ inline void observe(std::string_view name, double v) {
   r.histogram(name).observe(v);
 }
 
-/// Prometheus-style per-UE series name ("fleet.injections{ue=7}"). Every
-/// distinct label mints a separate series — fleet-scale callers should
-/// keep these behind the registry's enabled() gate.
-inline std::string ue_series(std::string_view name, std::uint32_t ue) {
+/// Prometheus-style labeled series name ("modem.reject{cause=9}"). Every
+/// distinct label value mints a separate series — fleet-scale callers
+/// should keep these behind the registry's enabled() gate and set a
+/// series limit (see Registry::set_series_limit).
+inline std::string label_series(std::string_view name, std::string_view label,
+                                std::string_view value) {
   std::string s(name);
-  s += "{ue=";
-  s += std::to_string(ue);
+  s += '{';
+  s += label;
+  s += '=';
+  s += value;
   s += '}';
   return s;
+}
+
+/// Per-UE series name ("fleet.injections{ue=7}").
+inline std::string ue_series(std::string_view name, std::uint32_t ue) {
+  return label_series(name, "ue", std::to_string(ue));
 }
 
 /// Installs a Simulator probe exporting event-loop gauges

@@ -13,21 +13,27 @@
 namespace seed::obs {
 namespace {
 
-constexpr std::array<std::string_view, 16> kKindNames = {
+constexpr std::array<std::string_view, 19> kKindNames = {
     "failure_injected", "failure_detected",   "diagnosis_made",
     "reset_issued",     "reset_completed",    "recovered",
     "collab_downlink",  "collab_uplink",      "conflict_suppressed",
     "rate_limited",     "log",                "chaos_injected",
     "action_retry",     "tier_escalated",     "watchdog_fired",
-    "degraded",
+    "degraded",         "cache_lookup",       "terminal_failure",
+    "slo_alert",
 };
 
 constexpr std::array<std::string_view, 6> kOriginNames = {
     "none", "sim", "infra", "os", "modem", "testbed",
 };
 
-// Minimal JSON string escaping for the detail field (the rest of the
-// record is numeric or from fixed name tables).
+// JSON string escaping for the detail field (the rest of the record is
+// numeric or from fixed name tables). Details can carry *arbitrary*
+// bytes — DIAG-DNN payload fragments, corrupted-by-chaos labels — so
+// every byte outside printable ASCII is emitted as \u00xx (the byte
+// value, latin-1 style). That keeps the output pure ASCII, valid JSON,
+// and exactly byte-round-trippable through import_jsonl; interpreting
+// multi-byte encodings is deliberately the reader's problem.
 void write_escaped(std::ostream& os, std::string_view s) {
   for (char c : s) {
     switch (c) {
@@ -36,16 +42,25 @@ void write_escaped(std::ostream& os, std::string_view s) {
       case '\n': os << "\\n"; break;
       case '\t': os << "\\t"; break;
       case '\r': os << "\\r"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
+      default: {
+        const auto b = static_cast<unsigned char>(c);
+        if (b < 0x20 || b >= 0x7f) {
           std::array<char, 8> buf{};
-          std::snprintf(buf.data(), buf.size(), "\\u%04x", c);
+          std::snprintf(buf.data(), buf.size(), "\\u%04x", b);
           os << buf.data();
         } else {
           os << c;
         }
+      }
     }
   }
+}
+
+int hex_nibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
 }
 
 // Tolerant field extractors for import: find `"key":` and parse what
@@ -81,6 +96,26 @@ std::optional<std::string> str_field(std::string_view line,
         case 'n': out.push_back('\n'); break;
         case 't': out.push_back('\t'); break;
         case 'r': out.push_back('\r'); break;
+        case 'u': {
+          // \uXXXX: our exporter only writes byte values (00..ff), so
+          // decode back to the single byte; reject short/non-hex runs.
+          if (i + 4 >= rest->size()) return std::nullopt;
+          unsigned value = 0;
+          for (int d = 0; d < 4; ++d) {
+            const int nib = hex_nibble((*rest)[i + 1 + static_cast<std::size_t>(d)]);
+            if (nib < 0) return std::nullopt;
+            value = value * 16 + static_cast<unsigned>(nib);
+          }
+          i += 4;
+          if (value <= 0xff) {
+            out.push_back(static_cast<char>(value));
+          } else {
+            // Foreign escape (a real BMP code point): preserve it as the
+            // replacement byte rather than mis-decoding.
+            out.push_back('?');
+          }
+          break;
+        }
         default: out.push_back(n);
       }
     } else {
@@ -149,17 +184,43 @@ Tracer& Tracer::instance() {
 }
 
 void Tracer::absorb(std::vector<Event> events) {
-  // Renumber incoming spans into this tracer's id space in first-seen
-  // order, so concatenating shard captures in shard order yields one
-  // collision-free, deterministic stream.
-  std::map<SpanId, SpanId> remap;
+  // Renumber incoming spans AND event ids into this tracer's id space in
+  // first-seen order, so concatenating shard captures in shard order
+  // yields one collision-free, deterministic stream with intact causal
+  // links. Parent references that point outside the absorbed batch are
+  // cut (they cannot resolve here).
+  std::map<SpanId, SpanId> span_remap;
+  std::map<std::uint64_t, std::uint64_t> seq_remap;
   for (Event& e : events) {
     if (e.span != 0) {
-      auto [it, inserted] = remap.emplace(e.span, 0);
+      auto [it, inserted] = span_remap.emplace(e.span, 0);
       if (inserted) it->second = next_span_++;
       e.span = it->second;
     }
+    if (e.seq != 0) seq_remap[e.seq] = next_seq_;
+    e.seq = next_seq_++;
+    if (e.parent != 0) {
+      const auto it = seq_remap.find(e.parent);
+      e.parent = it == seq_remap.end() ? 0 : it->second;
+    }
     events_.push_back(std::move(e));
+  }
+}
+
+void Tracer::add_observer(EventObserver* observer) {
+  if (observer == nullptr) return;
+  for (EventObserver* o : observers_) {
+    if (o == observer) return;
+  }
+  observers_.push_back(observer);
+}
+
+void Tracer::remove_observer(EventObserver* observer) {
+  for (auto it = observers_.begin(); it != observers_.end(); ++it) {
+    if (*it == observer) {
+      observers_.erase(it);
+      return;
+    }
   }
 }
 
@@ -199,6 +260,79 @@ SpanId Tracer::begin_span() {
   return active_span_;
 }
 
+std::uint64_t Tracer::parent_for(const Event& e, const CausalState& st) const {
+  // Cascade of causal anchors, most specific first. Every rule falls
+  // back to the span's last structural event, so even an emit sequence
+  // the rules never anticipated still forms one connected tree.
+  const auto anchor = [&st](std::uint64_t preferred) {
+    return preferred != 0 ? preferred : st.last;
+  };
+  switch (e.kind) {
+    case EventKind::kFailureInjected:
+      return 0;  // a new failure is the root of its own tree
+    case EventKind::kFailureDetected:
+      return anchor(st.injected);
+    case EventKind::kDiagnosisMade:
+      if (e.origin == Origin::kInfra) return anchor(st.injected);
+      return anchor(st.detected != 0 ? st.detected : st.infra_diag);
+    case EventKind::kCacheLookup:
+      return anchor(st.injected);
+    case EventKind::kCollabDownlink:
+      return anchor(st.infra_diag != 0 ? st.infra_diag : st.injected);
+    case EventKind::kCollabUplink:
+      return anchor(st.detected);
+    case EventKind::kResetIssued:
+      if (st.pending_reset_parent != 0) return st.pending_reset_parent;
+      if (st.diagnosed != 0) return st.diagnosed;
+      return anchor(st.detected != 0 ? st.detected : st.injected);
+    case EventKind::kResetCompleted:
+    case EventKind::kActionRetry:
+      return anchor(st.last_issue);
+    case EventKind::kTierEscalated:
+      return anchor(st.last_complete != 0 ? st.last_complete
+                                          : st.last_issue);
+    case EventKind::kRecovered:
+      return anchor(st.last_complete);
+    case EventKind::kWatchdogFired:
+      return anchor(st.detected);
+    default:
+      return st.last;
+  }
+}
+
+void Tracer::advance_causal(const Event& e, CausalState& st) {
+  switch (e.kind) {
+    case EventKind::kFailureInjected:
+      if (st.injected == 0) st.injected = e.seq;
+      break;
+    case EventKind::kFailureDetected:
+      if (st.detected == 0) st.detected = e.seq;
+      break;
+    case EventKind::kDiagnosisMade:
+      if (e.origin == Origin::kInfra) {
+        st.infra_diag = e.seq;
+      } else {
+        st.diagnosed = e.seq;
+        st.pending_reset_parent = e.seq;
+      }
+      break;
+    case EventKind::kResetIssued:
+      st.last_issue = e.seq;
+      st.pending_reset_parent = 0;
+      break;
+    case EventKind::kResetCompleted:
+      st.last_complete = e.seq;
+      break;
+    case EventKind::kActionRetry:
+    case EventKind::kTierEscalated:
+      st.pending_reset_parent = e.seq;
+      break;
+    default:
+      break;
+  }
+  if (e.kind != EventKind::kLog) st.last = e.seq;
+}
+
 void Tracer::record_now(Event e) {
   if (!enabled_) return;
   if (e.kind == EventKind::kFailureInjected) begin_span();
@@ -206,7 +340,19 @@ void Tracer::record_now(Event e) {
   e.at_us = now_ ? now_->time_since_epoch().count() : 0;
   if (e.ue == 0 && ue_source_ != nullptr) e.ue = *ue_source_;
   if (e.action != 0 && e.tier == 0) e.tier = tier_of_action(e.action);
+  e.seq = next_seq_++;
+  if (e.span != 0) {
+    CausalState& st = causal_[e.span];
+    if (e.parent == 0) e.parent = parent_for(e, st);
+    advance_causal(e, st);
+  }
   events_.push_back(std::move(e));
+  if (!observers_.empty()) {
+    // Notify from a copy: a reentrant record_now (an observer emitting a
+    // follow-up event) may reallocate events_ under the reference.
+    const Event snapshot = events_.back();
+    for (EventObserver* o : observers_) o->on_trace_event(snapshot);
+  }
 }
 
 std::size_t Tracer::event_count(EventKind k) const {
@@ -219,41 +365,65 @@ void Tracer::clear() {
   // Span ids stay monotonic across clear() so that exports taken before
   // and after a clear can be concatenated and still assemble correctly.
   events_.clear();
+  causal_.clear();
   active_span_ = 0;
 }
 
-void Tracer::export_jsonl(std::ostream& os) const {
-  for (const Event& e : events_) {
-    os << "{\"span\":" << e.span << ",\"kind\":\"" << event_kind_name(e.kind)
-       << "\",\"at_us\":" << e.at_us << ",\"origin\":\""
-       << origin_name(e.origin) << "\",\"plane\":" << int(e.plane)
-       << ",\"cause\":" << int(e.cause) << ",\"action\":" << int(e.action)
-       << ",\"tier\":" << int(e.tier) << ",\"ok\":" << (e.ok ? "true" : "false")
-       << ",\"prep_ms\":" << e.prep_ms << ",\"trans_ms\":" << e.trans_ms;
-    // Emitted only when labelled, so single-UE exports stay byte-stable.
-    if (e.ue != 0) os << ",\"ue\":" << e.ue;
-    if (!e.detail.empty()) {
-      os << ",\"detail\":\"";
-      write_escaped(os, e.detail);
-      os << "\"";
-    }
-    os << "}\n";
+void export_event_jsonl(std::ostream& os, const Event& e) {
+  os << "{\"span\":" << e.span << ",\"kind\":\"" << event_kind_name(e.kind)
+     << "\",\"at_us\":" << e.at_us << ",\"origin\":\""
+     << origin_name(e.origin) << "\",\"plane\":" << int(e.plane)
+     << ",\"cause\":" << int(e.cause) << ",\"action\":" << int(e.action)
+     << ",\"tier\":" << int(e.tier) << ",\"ok\":" << (e.ok ? "true" : "false")
+     << ",\"prep_ms\":" << e.prep_ms << ",\"trans_ms\":" << e.trans_ms;
+  // Optional fields are emitted only when set, so traces recorded
+  // without the feature stay byte-stable.
+  if (e.seq != 0) os << ",\"seq\":" << e.seq;
+  if (e.parent != 0) os << ",\"parent\":" << e.parent;
+  if (e.ue != 0) os << ",\"ue\":" << e.ue;
+  if (!e.detail.empty()) {
+    os << ",\"detail\":\"";
+    write_escaped(os, e.detail);
+    os << "\"";
   }
+  os << "}\n";
 }
 
-std::vector<Event> Tracer::import_jsonl(std::istream& is) {
+void Tracer::export_jsonl(std::ostream& os) const {
+  for (const Event& e : events_) export_event_jsonl(os, e);
+}
+
+std::vector<Event> Tracer::import_jsonl(std::istream& is,
+                                        ImportStats* stats) {
   std::vector<Event> out;
   std::string line;
   while (std::getline(is, line)) {
+    if (stats != nullptr) ++stats->lines;
     if (line.empty() || line.find('{') == std::string::npos) continue;
+    // From here the line claims to be a record; any parse failure is
+    // counted as malformed (truncated tail, bad kind, hand-edit damage)
+    // instead of being silently skipped.
+    const auto malformed = [&stats] {
+      if (stats != nullptr) ++stats->malformed;
+    };
     Event e;
     const auto kind = str_field(line, "kind");
-    if (!kind) continue;  // not a trace record
+    if (!kind) {
+      malformed();
+      continue;
+    }
     const auto k = event_kind_from(*kind);
-    if (!k) continue;
+    if (!k) {
+      malformed();
+      continue;
+    }
     e.kind = *k;
     if (const auto v = num_field(line, "span"))
       e.span = static_cast<SpanId>(*v);
+    if (const auto v = num_field(line, "seq"))
+      e.seq = static_cast<std::uint64_t>(*v);
+    if (const auto v = num_field(line, "parent"))
+      e.parent = static_cast<std::uint64_t>(*v);
     if (const auto v = num_field(line, "at_us"))
       e.at_us = static_cast<std::int64_t>(*v);
     if (const auto o = str_field(line, "origin"))
@@ -273,6 +443,7 @@ std::vector<Event> Tracer::import_jsonl(std::istream& is) {
     if (const auto v = num_field(line, "ue"))
       e.ue = static_cast<std::uint32_t>(*v);
     if (auto d = str_field(line, "detail")) e.detail = std::move(*d);
+    if (stats != nullptr) ++stats->records;
     out.push_back(std::move(e));
   }
   return out;
@@ -333,6 +504,12 @@ std::vector<SpanSummary> Tracer::assemble(std::vector<Event> events) {
       case EventKind::kTierEscalated: ++s.tier_escalations; break;
       case EventKind::kWatchdogFired: ++s.watchdog_fires; break;
       case EventKind::kDegraded: ++s.degradations; break;
+      case EventKind::kCacheLookup:
+        ++s.cache_lookups;
+        if (e.ok) ++s.cache_hits;
+        break;
+      case EventKind::kTerminalFailure: ++s.terminal_failures; break;
+      case EventKind::kSloAlert: ++s.slo_alerts; break;
       case EventKind::kLog: break;
     }
   }
@@ -385,7 +562,128 @@ void Tracer::print_summary(std::ostream& os,
     if (s.tier_escalations) os << "  escalations=" << s.tier_escalations;
     if (s.watchdog_fires) os << "  watchdog=" << s.watchdog_fires;
     if (s.degradations) os << "  degraded=" << s.degradations;
+    if (s.cache_lookups) {
+      os << "  cache=" << s.cache_hits << "/" << s.cache_lookups;
+    }
+    if (s.terminal_failures) os << "  terminal=" << s.terminal_failures;
     os << "\n";
+  }
+}
+
+std::vector<LifecycleTree> Tracer::build_lifecycle(std::vector<Event> events) {
+  // Per-stage latencies come from the same reconstruction the summary
+  // view uses, so the two views can never disagree about a span.
+  std::map<SpanId, SpanSummary> summaries;
+  for (SpanSummary& s : assemble(events)) summaries[s.span] = std::move(s);
+
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Event& a, const Event& b) {
+                     return a.at_us < b.at_us;
+                   });
+  std::map<SpanId, LifecycleTree> trees;
+  for (Event& e : events) {
+    if (e.kind == EventKind::kLog) continue;  // log lines are not causal
+    LifecycleTree& t = trees[e.span];
+    t.span = e.span;
+    t.nodes.push_back(LifecycleNode{std::move(e), {}});
+  }
+  std::vector<LifecycleTree> out;
+  out.reserve(trees.size());
+  for (auto& [span, t] : trees) {
+    if (const auto it = summaries.find(span); it != summaries.end()) {
+      t.summary = it->second;
+    }
+    // Link children to parents via the in-span seq -> index map. A parent
+    // outside the span (absorb cut it, or pre-lifecycle traces with no
+    // ids at all) makes the node a root, which degrades a legacy trace
+    // to a flat list instead of losing events.
+    std::map<std::uint64_t, std::size_t> by_seq;
+    for (std::size_t i = 0; i < t.nodes.size(); ++i) {
+      if (const auto seq = t.nodes[i].event.seq; seq != 0) by_seq[seq] = i;
+    }
+    for (std::size_t i = 0; i < t.nodes.size(); ++i) {
+      const std::uint64_t parent = t.nodes[i].event.parent;
+      const auto it = parent != 0 ? by_seq.find(parent) : by_seq.end();
+      if (it != by_seq.end() && it->second != i) {
+        t.nodes[it->second].children.push_back(i);
+      } else {
+        t.roots.push_back(i);
+      }
+    }
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+namespace {
+
+void print_lifecycle_node(std::ostream& os, const LifecycleTree& t,
+                          std::size_t index, int depth,
+                          std::int64_t parent_us) {
+  const Event& e = t.nodes[index].event;
+  for (int i = 0; i < depth; ++i) os << "  ";
+  os << (depth <= 1 ? "* " : "- ") << event_kind_name(e.kind) << " ["
+     << origin_name(e.origin) << "]";
+  if (e.action != 0) {
+    os << " action=" << action_code_name(e.action) << "/"
+       << tier_name(e.tier != 0 ? e.tier : tier_of_action(e.action));
+  }
+  if (e.kind == EventKind::kFailureInjected ||
+      e.kind == EventKind::kFailureDetected ||
+      e.kind == EventKind::kDiagnosisMade) {
+    os << " plane=" << (e.plane == 0 ? "cp" : "dp")
+       << " cause=" << int(e.cause);
+  }
+  if (e.kind == EventKind::kResetCompleted ||
+      e.kind == EventKind::kCacheLookup) {
+    os << (e.ok ? " ok" : " fail");
+  }
+  std::array<char, 32> buf{};
+  std::snprintf(buf.data(), buf.size(), " +%.3fms",
+                static_cast<double>(e.at_us - parent_us) / 1e3);
+  os << buf.data();
+  if (!e.detail.empty() && e.kind != EventKind::kSloAlert) {
+    os << "  (" << e.detail << ")";
+  }
+  os << "\n";
+  for (const std::size_t child : t.nodes[index].children) {
+    print_lifecycle_node(os, t, child, depth + 1, e.at_us);
+  }
+}
+
+}  // namespace
+
+void Tracer::print_lifecycle(std::ostream& os,
+                             const std::vector<LifecycleTree>& trees) {
+  auto stage = [&os](std::string_view name, std::optional<double> ms) {
+    if (!ms) return;
+    std::array<char, 48> buf{};
+    std::snprintf(buf.data(), buf.size(), " %s=%.3fms", std::string(name).c_str(),
+                  *ms);
+    os << buf.data();
+  };
+  for (const LifecycleTree& t : trees) {
+    os << "span " << t.span;
+    if (t.span == 0) os << " (unattributed)";
+    if (t.summary.injected_us) {
+      os << "  plane=" << (t.summary.plane == 0 ? "cp" : "dp")
+         << " cause=" << int(t.summary.cause);
+    }
+    os << "  events=" << t.nodes.size() << " roots=" << t.roots.size()
+       << "\n";
+    os << "  stages:";
+    stage("detect", t.summary.detect_ms());
+    stage("diagnose", t.summary.diagnose_ms());
+    stage("recover", t.summary.recover_ms());
+    if (!t.summary.detect_ms() && !t.summary.diagnose_ms() &&
+        !t.summary.recover_ms()) {
+      os << " -";
+    }
+    os << "\n";
+    for (const std::size_t root : t.roots) {
+      const std::int64_t base = t.nodes[root].event.at_us;
+      print_lifecycle_node(os, t, root, 1, base);
+    }
   }
 }
 

@@ -16,8 +16,10 @@
 // the hot path; the inline emit_* helpers below take PODs only.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <iosfwd>
+#include <map>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -48,6 +50,10 @@ enum class EventKind : std::uint8_t {
   kTierEscalated,    // handling moved past a failed action (Table 3 order)
   kWatchdogFired,    // recovery watchdog deadline hit, handling re-armed
   kDegraded,         // fell back to legacy handling (applet/channel dead)
+  // Health-engine / post-mortem events (appended, same stability rule).
+  kCacheLookup,      // Fig. 8 diagnosis-cache lookup (ok = hit)
+  kTerminalFailure,  // escalation ladder / watchdog hit a terminal state
+  kSloAlert,         // health-engine SLO alert transition (detail = payload)
 };
 
 /// Which vantage point emitted the event (the same failure is seen by the
@@ -77,6 +83,13 @@ std::string_view tier_name(std::uint8_t tier);
 
 struct Event {
   SpanId span = 0;
+  /// Per-stream event id (1-based, assigned by record_now) and the id of
+  /// the causally preceding event inside the same span (0 = root). The
+  /// parent links turn a span's flat event list into the failure's
+  /// lifecycle tree: detect -> diagnose -> collab -> reset -> recovery,
+  /// across every vantage point that emitted into the span.
+  std::uint64_t seq = 0;
+  std::uint64_t parent = 0;
   EventKind kind = EventKind::kLog;
   std::int64_t at_us = 0;  // simulated time (µs since sim epoch)
   /// UE label in multi-UE experiments (1-based device index; 0 = the
@@ -128,6 +141,10 @@ struct SpanSummary {
   std::uint64_t tier_escalations = 0;
   std::uint64_t watchdog_fires = 0;
   std::uint64_t degradations = 0;
+  std::uint64_t cache_lookups = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t terminal_failures = 0;
+  std::uint64_t slo_alerts = 0;
 
   std::optional<double> detect_ms() const { return delta(detected_us); }
   std::optional<double> diagnose_ms() const { return delta(diagnosed_us); }
@@ -138,6 +155,42 @@ struct SpanSummary {
     if (!injected_us || !t) return std::nullopt;
     return static_cast<double>(*t - *injected_us) / 1e3;
   }
+};
+
+/// A node of a reconstructed causal lifecycle tree (one event plus the
+/// indices of the events it caused, within the owning LifecycleTree).
+struct LifecycleNode {
+  Event event;
+  std::vector<std::size_t> children;
+};
+
+/// One span's causal tree, rebuilt from the seq/parent links. Traces
+/// recorded before lifecycle ids existed (parent == 0 everywhere)
+/// degrade gracefully: every event becomes a root and the tree is flat.
+struct LifecycleTree {
+  SpanId span = 0;
+  std::vector<LifecycleNode> nodes;  // time-sorted, kLog events dropped
+  std::vector<std::size_t> roots;    // nodes whose parent is not in-span
+  SpanSummary summary;               // per-stage latencies for this span
+};
+
+/// Import bookkeeping for JSONL replay: `malformed` counts lines that
+/// look like records (contain '{') but failed to parse — truncated tails
+/// of a crashed run, hand-edit damage, unknown kinds.
+struct ImportStats {
+  std::size_t lines = 0;
+  std::size_t records = 0;
+  std::size_t malformed = 0;
+};
+
+/// Passive tap on the tracer's recorded stream (health engine, flight
+/// recorder). Observers see each event after it is recorded; they must
+/// not mutate tracer state, but MAY emit further events (reentrant
+/// record_now is safe — the nested event lands after the current one).
+class EventObserver {
+ public:
+  virtual ~EventObserver() = default;
+  virtual void on_trace_event(const Event& e) = 0;
 };
 
 class Tracer {
@@ -179,15 +232,28 @@ class Tracer {
   /// combined stream is deterministic; appends even while disabled.
   void absorb(std::vector<Event> events);
 
-  /// Restarts span numbering from 1. clear() deliberately keeps ids
-  /// monotonic so consecutive exports concatenate; call this only when
-  /// previous exports are discarded (isolated fleet runs, tests) and a
-  /// reproducible id sequence matters.
-  void reset_span_counter() { next_span_ = 1; }
+  /// Restarts span AND event-id numbering from 1. clear() deliberately
+  /// keeps ids monotonic so consecutive exports concatenate; call this
+  /// only when previous exports are discarded (isolated fleet runs,
+  /// tests) and a reproducible id sequence matters.
+  void reset_span_counter() {
+    next_span_ = 1;
+    next_seq_ = 1;
+  }
+
+  /// Registers/removes a passive event tap. Observers are notified in
+  /// registration order, only for events recorded while enabled (absorb
+  /// does NOT notify — merged captures were already observed shard-side).
+  void add_observer(EventObserver* observer);
+  void remove_observer(EventObserver* observer);
 
   // ----- export / import
   void export_jsonl(std::ostream& os) const;
-  static std::vector<Event> import_jsonl(std::istream& is);
+  static std::vector<Event> import_jsonl(std::istream& is,
+                                         ImportStats* stats);
+  static std::vector<Event> import_jsonl(std::istream& is) {
+    return import_jsonl(is, nullptr);
+  }
 
   // ----- analysis (static so a replayed JSONL trace works the same)
   /// Groups events by span and reconstructs each failure lifecycle.
@@ -197,15 +263,48 @@ class Tracer {
   static void print_summary(std::ostream& os,
                             const std::vector<SpanSummary>& spans);
 
+  /// Rebuilds each span's causal tree from the seq/parent links and
+  /// pairs it with the span's stage-latency summary. Span 0 (events
+  /// recorded outside any failure) groups into its own flat tree.
+  static std::vector<LifecycleTree> build_lifecycle(
+      std::vector<Event> events);
+  /// `--lifecycle` view: indented causal tree with per-hop deltas plus a
+  /// per-stage latency breakdown per span.
+  static void print_lifecycle(std::ostream& os,
+                              const std::vector<LifecycleTree>& trees);
+
  private:
+  /// Per-span causal frontier driving parent assignment in record_now.
+  struct CausalState {
+    std::uint64_t injected = 0;
+    std::uint64_t detected = 0;
+    std::uint64_t diagnosed = 0;   // latest SIM-side diagnosis
+    std::uint64_t infra_diag = 0;  // latest infra-side diagnosis
+    std::uint64_t last_issue = 0;
+    std::uint64_t last_complete = 0;
+    /// Event the next kResetIssued should hang off (diagnosis, retry, or
+    /// escalation — whichever most recently promised an action).
+    std::uint64_t pending_reset_parent = 0;
+    std::uint64_t last = 0;  // last non-log event in the span
+  };
+  std::uint64_t parent_for(const Event& e, const CausalState& st) const;
+  void advance_causal(const Event& e, CausalState& st);
+
   Tracer() = default;
   bool enabled_ = false;
   const sim::TimePoint* now_ = nullptr;
   const std::uint32_t* ue_source_ = nullptr;
   SpanId next_span_ = 1;
+  std::uint64_t next_seq_ = 1;
   SpanId active_span_ = 0;
   std::vector<Event> events_;
+  std::map<SpanId, CausalState> causal_;
+  std::vector<EventObserver*> observers_;
 };
+
+/// Serializes one event as a single JSONL record (the unit
+/// Tracer::export_jsonl and the flight recorder's blackbox share).
+void export_event_jsonl(std::ostream& os, const Event& e);
 
 inline bool enabled() { return Tracer::instance().enabled(); }
 
@@ -380,6 +479,38 @@ inline void emit_degraded(Origin origin = Origin::kOs) {
   Event e;
   e.kind = EventKind::kDegraded;
   e.origin = origin;
+  t.record_now(std::move(e));
+}
+
+/// Fig. 8 diagnosis-cache lookup (only emitted when a cache is attached,
+/// so cache-less runs keep byte-identical traces). `hit` rides in `ok`.
+inline void emit_cache_lookup(bool hit, std::uint8_t plane,
+                              std::uint8_t cause) {
+  Tracer& t = Tracer::instance();
+  if (!t.enabled()) return;
+  Event e;
+  e.kind = EventKind::kCacheLookup;
+  e.origin = Origin::kInfra;
+  e.plane = plane;
+  e.cause = cause;
+  e.ok = hit;
+  t.record_now(std::move(e));
+}
+
+/// Terminal state of a failure's handling: the escalation ladder ended in
+/// a user notification, or the recovery watchdog gave up on the SEED
+/// path. The flight recorder dumps a blackbox when it sees one of these.
+inline void emit_terminal_failure(Origin origin, std::string_view reason,
+                                  std::uint8_t plane = 0,
+                                  std::uint8_t cause = 0) {
+  Tracer& t = Tracer::instance();
+  if (!t.enabled()) return;
+  Event e;
+  e.kind = EventKind::kTerminalFailure;
+  e.origin = origin;
+  e.plane = plane;
+  e.cause = cause;
+  e.detail = std::string(reason);
   t.record_now(std::move(e));
 }
 

@@ -189,9 +189,13 @@ AssistAdvice classify_failure_cached(const FailureEvent& event,
     return classify_failure(event, learner, rng);
   }
   if (const AssistAdvice* hit = cache->lookup(event)) {
+    obs::emit_cache_lookup(true, static_cast<std::uint8_t>(event.plane),
+                           event.standardized_cause);
     log_and_emit(*hit);
     return *hit;
   }
+  obs::emit_cache_lookup(false, static_cast<std::uint8_t>(event.plane),
+                         event.standardized_cause);
   // lookup() above already counted the miss; run the tree once and keep
   // the result for every later failure with the same shape.
   AssistAdvice advice = classify_failure(event, learner, rng);

@@ -169,6 +169,9 @@ void SeedApplet::handle_diag(const proto::DiagInfo& info) {
           : static_cast<std::uint8_t>(plan.actions.front()));
   if (plan.notify_user) {
     ++stats_.user_notifications;
+    obs::emit_terminal_failure(obs::Origin::kSim, "diagnosis says notify user",
+                              static_cast<std::uint8_t>(info.plane),
+                              info.cause);
     if (notify_user_) {
       notify_user_(std::string(nas::cause_name(info.plane, info.cause)));
     }
@@ -290,6 +293,8 @@ void SeedApplet::run_actions(std::vector<proto::ResetAction> actions,
     }
     if (retry_policy_.notify_user_on_exhaust) {
       ++stats_.user_notifications;
+      obs::emit_terminal_failure(obs::Origin::kSim,
+                                 "recovery actions exhausted", 0, cause);
       if (notify_user_) notify_user_("recovery actions exhausted");
     }
     plan_in_flight_ = false;

@@ -30,6 +30,7 @@ bool g_update_golden = false;
 
 using device::Scheme;
 using testbed::CpFailure;
+using testbed::DpFailure;
 using testbed::Outcome;
 using testbed::Testbed;
 
@@ -183,6 +184,26 @@ std::vector<obs::Event> run_chaos() {
   return tracer.events();
 }
 
+/// Scenario 4 — the Fig. 13 ladder as one causal lifecycle: a SEED-R
+/// d-plane failure whose planned B3 reset is chaos-pinned to fail (B2 is
+/// pinned too, in case the ladder reaches it), so handling retries B3
+/// with backoff and escalates up the Table 3 ladder inside a single
+/// failure span. The golden pins the full detect -> diagnose -> reset ->
+/// retry -> escalate -> recover chain including the seq/parent links.
+std::vector<obs::Event> run_fig13_lifecycle() {
+  Testbed tb(20220707, Scheme::kSeedR);
+  tb.secondary_congestion_prob = 0;
+  chaos::ChaosConfig cfg;
+  cfg.action_fail[6] = 1.0;  // B3 fast d-plane reset always fails
+  cfg.action_fail[5] = 1.0;  // B2 re-attach always fails
+  tb.enable_chaos(cfg);
+  tb.bring_up();
+  ScopedTracer tracer;
+  const Outcome out = tb.run_dp_failure(DpFailure::kOutdatedDnn);
+  EXPECT_TRUE(out.recovered);
+  return tracer.events();
+}
+
 // -------------------------------------------------------------- tests
 
 TEST(GoldenTrace, Quickstart) {
@@ -195,6 +216,57 @@ TEST(GoldenTrace, Fig13ResetLadder) {
 
 TEST(GoldenTrace, ChaosRetryEscalation) {
   check_against_golden("chaos_retry_escalation", run_chaos());
+}
+
+TEST(GoldenTrace, Fig13Lifecycle) {
+  check_against_golden("fig13_lifecycle", run_fig13_lifecycle());
+}
+
+/// Acceptance: every reset in the fig13 lifecycle trace reconstructs
+/// into exactly one causal tree rooted at the failure that caused it —
+/// no orphaned resets, no second root, every node reachable.
+TEST(GoldenTrace, Fig13LifecycleFormsOneCausalTree) {
+  const std::vector<obs::Event> events = run_fig13_lifecycle();
+  const std::vector<obs::LifecycleTree> trees =
+      obs::Tracer::build_lifecycle(events);
+
+  std::size_t resets_seen = 0;
+  bool saw_escalation = false;
+  for (const obs::LifecycleTree& tree : trees) {
+    bool has_reset = false;
+    for (const obs::LifecycleNode& n : tree.nodes) {
+      has_reset |= n.event.kind == obs::EventKind::kResetIssued;
+    }
+    if (!has_reset) continue;
+
+    // One root, and it is the failure injection that opened the span.
+    ASSERT_EQ(tree.roots.size(), 1u) << "span " << tree.span;
+    EXPECT_EQ(tree.nodes[tree.roots[0]].event.kind,
+              obs::EventKind::kFailureInjected);
+
+    // Every node — resets included — hangs off that root.
+    std::vector<bool> reachable(tree.nodes.size(), false);
+    std::vector<std::size_t> stack{tree.roots[0]};
+    while (!stack.empty()) {
+      const std::size_t i = stack.back();
+      stack.pop_back();
+      reachable[i] = true;
+      for (std::size_t c : tree.nodes[i].children) stack.push_back(c);
+    }
+    for (std::size_t i = 0; i < tree.nodes.size(); ++i) {
+      EXPECT_TRUE(reachable[i])
+          << "orphaned "
+          << obs::event_kind_name(tree.nodes[i].event.kind) << " in span "
+          << tree.span;
+      resets_seen +=
+          tree.nodes[i].event.kind == obs::EventKind::kResetIssued ? 1 : 0;
+      saw_escalation |=
+          tree.nodes[i].event.kind == obs::EventKind::kTierEscalated;
+    }
+  }
+  // The chaos pins force the full ladder: B3 (fails), B2 (fails), B1.
+  EXPECT_GE(resets_seen, 3u);
+  EXPECT_TRUE(saw_escalation);
 }
 
 /// The diff itself must catch a dropped span: golden-vs-(golden minus

@@ -8,6 +8,7 @@
 #include "obs/registry.h"
 #include "obs/trace.h"
 #include "simcore/log.h"
+#include "simcore/rng.h"
 #include "simcore/simulator.h"
 
 namespace seed::obs {
@@ -280,6 +281,88 @@ TEST_F(ObsTest, SamplesAddAfterQueryRefreshesCache) {
   EXPECT_DOUBLE_EQ(s.percentile(100), 5.0);
   s.add(50.0);
   EXPECT_DOUBLE_EQ(s.percentile(100), 50.0);
+}
+
+// ------------------------------------------------- label cardinality
+
+TEST_F(ObsTest, RegistryCapsLabelCardinality) {
+  Registry& r = Registry::instance();
+  r.enable(true);
+  r.set_series_limit(2);
+  for (std::uint32_t ue = 1; ue <= 5; ++ue) {
+    r.counter(ue_series("core.rejects", ue)).inc();
+  }
+  // First two label values got their own series; the other three routed
+  // to the shared overflow bucket and were counted as dropped.
+  EXPECT_EQ(r.counter("core.rejects{ue=1}").value(), 1u);
+  EXPECT_EQ(r.counter("core.rejects{ue=2}").value(), 1u);
+  EXPECT_EQ(r.counter("core.rejects{overflow}").value(), 3u);
+  EXPECT_EQ(r.series_dropped(), 3u);
+  // Existing overflowed series stay routed on later increments.
+  r.counter(ue_series("core.rejects", 4)).inc();
+  EXPECT_EQ(r.counter("core.rejects{overflow}").value(), 4u);
+  // Admitted series are unaffected.
+  r.counter(ue_series("core.rejects", 1)).inc();
+  EXPECT_EQ(r.counter("core.rejects{ue=1}").value(), 2u);
+  // Each base name has its own budget; unlabeled metrics are never capped.
+  r.counter(ue_series("fleet.injections", 9)).inc();
+  EXPECT_EQ(r.counter("fleet.injections{ue=9}").value(), 1u);
+  r.counter("plain.counter").inc();
+  EXPECT_EQ(r.counter("plain.counter").value(), 1u);
+  r.set_series_limit(0);
+}
+
+TEST_F(ObsTest, RegistrySeriesLimitZeroIsUnlimited) {
+  Registry& r = Registry::instance();
+  r.enable(true);
+  ASSERT_EQ(r.series_limit(), 0u);
+  for (std::uint32_t ue = 1; ue <= 64; ++ue) {
+    r.counter(ue_series("core.rejects", ue)).inc();
+  }
+  EXPECT_EQ(r.series_dropped(), 0u);
+  EXPECT_EQ(r.counter("core.rejects{ue=64}").value(), 1u);
+}
+
+// --------------------------------------------------- escaping fuzz
+
+// DIAG-DNN payload fragments can drag arbitrary bytes into detail
+// fields; every byte value must survive export -> import unchanged.
+TEST_F(ObsTest, EscapedJsonlRoundTripsArbitraryBytes) {
+  Tracer& t = Tracer::instance();
+  t.reset_span_counter();
+  t.enable(true);
+  sim::Rng rng(20260807);
+  std::vector<std::string> details;
+  // Every byte value once, then random byte soup.
+  std::string all_bytes;
+  for (int b = 0; b < 256; ++b) all_bytes.push_back(static_cast<char>(b));
+  details.push_back(all_bytes);
+  for (int i = 0; i < 64; ++i) {
+    std::string d;
+    const int len = rng.uniform_int(0, 48);
+    for (int j = 0; j < len; ++j) {
+      d.push_back(static_cast<char>(rng.uniform_int(0, 255)));
+    }
+    details.push_back(std::move(d));
+  }
+  for (const std::string& d : details) {
+    Event e;
+    e.kind = EventKind::kLog;
+    e.detail = d;
+    t.record_now(std::move(e));
+  }
+  std::stringstream buf;
+  t.export_jsonl(buf);
+  // The wire format is pure printable ASCII (valid JSON for any input).
+  for (char c : buf.str()) {
+    const auto b = static_cast<unsigned char>(c);
+    EXPECT_TRUE(b == '\n' || (b >= 0x20 && b < 0x7f)) << int(b);
+  }
+  const std::vector<Event> back = Tracer::import_jsonl(buf);
+  ASSERT_EQ(back.size(), details.size());
+  for (std::size_t i = 0; i < details.size(); ++i) {
+    EXPECT_EQ(back[i].detail, details[i]) << "detail " << i;
+  }
 }
 
 }  // namespace
