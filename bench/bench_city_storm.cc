@@ -25,11 +25,14 @@
 #include <iostream>
 #include <string>
 
+#include "fleet_bench.h"
 #include "obs/flight_recorder.h"
 #include "obs/health.h"
+#include "obs/prof.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
 #include "testbed/multi_testbed.h"
+#include "testbed/profile_workload.h"
 
 using namespace seed;
 
@@ -173,6 +176,16 @@ int main(int argc, char** argv) {
        << cache_entries << "}}\n";
   std::cout << "wrote BENCH_city.json\n";
 
+  // Wall-clock throughput sidecar for the perf gate (uncommitted: the
+  // number is host-dependent; BENCH_city.json stays deterministic).
+  {
+    std::ofstream wall_json("BENCH_city_wall.json", std::ios::trunc);
+    wall_json << "{\"bench\":\"city_storm_wall\",\"events_per_sec\":"
+              << static_cast<std::uint64_t>(static_cast<double>(events) /
+                                            wall_s)
+              << ",\"wall_s\":" << wall_s << "}\n";
+  }
+
   // ---- health snapshot: close the final evaluation windows and write
   // the deterministic BENCH_health.json (sim-time only, no wall clock).
   health.flush(sim.now().time_since_epoch().count());
@@ -193,6 +206,28 @@ int main(int argc, char** argv) {
   health.dump_json(health_json);
   health_json << "}\n";
   std::cout << "wrote BENCH_health.json\n";
+
+  // ---- hot-path cost attribution: the canonical fleet profiling
+  // workload (8 shard mini-storms merged in shard order). The committed
+  // BENCH_profile.json holds only deterministic counters and is
+  // byte-identical for ANY --threads value; wall times go to the
+  // uncommitted *_full sidecar.
+  {
+    const std::size_t workers = benchutil::fleet_threads(argc, argv);
+    const testbed::ProfileWorkload pw;
+    const auto rows = testbed::run_profile_workload(pw, workers);
+    std::ofstream prof_json("BENCH_profile.json", std::ios::trunc);
+    obs::dump_prof_json(prof_json, "profile_fleet", rows,
+                        /*include_times=*/false);
+    std::ofstream prof_full("BENCH_profile_full.json", std::ios::trunc);
+    obs::dump_prof_json(prof_full, "profile_fleet", rows,
+                        /*include_times=*/true);
+    std::uint64_t zone_calls = 0;
+    for (const auto& r : rows) zone_calls += r.stats.calls;
+    std::cout << "wrote BENCH_profile.json (" << rows.size() << " zones, "
+              << zone_calls << " zone entries; times in "
+              << "BENCH_profile_full.json)\n";
+  }
 
   if (blackbox_path != nullptr) {
     std::ofstream box_out(blackbox_path, std::ios::trunc);

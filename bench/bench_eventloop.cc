@@ -20,6 +20,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "obs/prof.h"
 #include "simcore/rng.h"
 #include "simcore/simulator.h"
 
@@ -239,5 +240,20 @@ int main(int argc, char** argv) {
        << ",\"baseline_wall_ms\":" << legacy.wall_ms
        << ",\"speedup\":" << speedup << ",\"events\":" << slab.fired
        << ",\"cancels\":" << slab.cancels << "}\n";
+
+  // Untimed profiled pass: attributes the churn's dispatch cost without
+  // polluting the timed trials above (an enabled zone pays two clock
+  // reads per event). Wall times included -> gitignored *_full dump.
+  {
+    auto& prof = seed::obs::Profiler::instance();
+    prof.clear();
+    prof.enable(true);
+    run_churn<seed::sim::Simulator>(kFsms, target / 10);
+    prof.enable(false);
+    std::ofstream prof_os("BENCH_profile_eventloop_full.json",
+                          std::ios::trunc);
+    prof.dump_json(prof_os, "eventloop_churn", /*include_times=*/true);
+    prof.clear();
+  }
   return 0;
 }

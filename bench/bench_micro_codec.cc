@@ -4,7 +4,10 @@
 // failure-report DNN packing.
 #include <benchmark/benchmark.h>
 
+#include <fstream>
+
 #include "crypto/security_context.h"
+#include "obs/prof.h"
 #include "nas/causes.h"
 #include "nas/messages.h"
 #include "seedproto/diag_payload.h"
@@ -96,4 +99,19 @@ BENCHMARK(BM_FailureReportUplinkPath);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main — see bench_micro_crypto.cc: profiled run, gitignored
+// *_full dump (adaptive iteration counts make it non-deterministic).
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  auto& prof = seed::obs::Profiler::instance();
+  prof.clear();
+  prof.enable(true);
+  benchmark::RunSpecifiedBenchmarks();
+  prof.enable(false);
+  std::ofstream os("BENCH_profile_micro_codec_full.json", std::ios::trunc);
+  prof.dump_json(os, "micro_codec", /*include_times=*/true);
+  prof.clear();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -4,7 +4,10 @@
 // processing cost assumptions in common/params.h.
 #include <benchmark/benchmark.h>
 
+#include <fstream>
+
 #include "common/bytes.h"
+#include "obs/prof.h"
 #include "crypto/aes.h"
 #include "crypto/cmac.h"
 #include "crypto/ctr.h"
@@ -86,4 +89,22 @@ BENCHMARK(BM_SecurityContextRoundTrip)->Arg(16)->Arg(100);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main: run with the hot-path profiler armed and dump the cost
+// attribution next to the timings. Iteration counts are adaptive, so the
+// dump is NOT deterministic — it is the gitignored *_full flavour (times
+// included), never a committed artifact. Reported per-op timings include
+// the (measured-as-tiny) enabled-profiler overhead.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  auto& prof = seed::obs::Profiler::instance();
+  prof.clear();
+  prof.enable(true);
+  benchmark::RunSpecifiedBenchmarks();
+  prof.enable(false);
+  std::ofstream os("BENCH_profile_micro_crypto_full.json", std::ios::trunc);
+  prof.dump_json(os, "micro_crypto", /*include_times=*/true);
+  prof.clear();
+  benchmark::Shutdown();
+  return 0;
+}

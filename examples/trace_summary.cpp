@@ -7,6 +7,7 @@
 //   ./build/examples/trace_summary --lifecycle trace.jsonl  # causal trees
 //   ./build/examples/trace_summary < trace.jsonl            # from stdin
 //   ./build/examples/trace_summary --demo                   # generate one
+//   ./build/examples/trace_summary --prof BENCH_profile.json # zone report
 //
 // --demo runs a SEED-U testbed through a control-plane and a data-plane
 // failure with the tracer on, exports the events through a JSONL
@@ -16,12 +17,15 @@
 // damage) are skipped and counted; any skipped line makes the exit code
 // 2 so scripts notice partial input, while the valid records still
 // render.
+#include <algorithm>
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "common/minijson.h"
 #include "obs/trace.h"
 #include "testbed/testbed.h"
 
@@ -59,11 +63,91 @@ void print_totals(std::ostream& os, const std::vector<obs::Event>& events) {
   os << '\n';
 }
 
+/// The prof_report view: renders a BENCH_profile[_full].json dump as a
+/// per-zone cost table. Wall-time columns appear only when the dump
+/// carries them (the *_full flavour); the committed deterministic dump
+/// renders counts and bytes alone.
+int prof_report(const char* path) {
+  if (path == nullptr) {
+    std::cerr << "trace_summary: --prof needs a profile json path\n";
+    return 1;
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::cerr << "trace_summary: cannot open " << path << '\n';
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (buf.str().find_first_not_of(" \t\r\n") == std::string::npos) {
+    std::cerr << "trace_summary: " << path << " is empty\n";
+    return 1;
+  }
+
+  struct Row {
+    std::string name;
+    double calls, bytes, allocs, alloc_bytes, incl_us, excl_us;
+    bool has_times;
+  };
+  std::vector<Row> rows;
+  std::string workload;
+  try {
+    const minijson::Value doc = minijson::parse(buf.str());
+    const minijson::Value& profile = doc.at("profile");
+    workload = profile.at("workload").as_string();
+    for (const minijson::Value& z : profile.at("zones").as_array()) {
+      Row r{};
+      r.name = z.at("name").as_string();
+      r.calls = z.at("calls").as_number();
+      r.bytes = z.at("bytes").as_number();
+      r.allocs = z.at("allocs").as_number();
+      r.alloc_bytes = z.at("alloc_bytes").as_number();
+      if (const minijson::Value* t = z.find("excl_us")) {
+        r.has_times = true;
+        r.excl_us = t->as_number();
+        r.incl_us = z.at("incl_us").as_number();
+      }
+      rows.push_back(std::move(r));
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "trace_summary: " << path << ": not a profile dump ("
+              << e.what() << ")\n";
+    return 2;
+  }
+  if (rows.empty()) {
+    std::cerr << "trace_summary: " << path << ": no zones recorded "
+              << "(profiler disabled during the run?)\n";
+    return 1;
+  }
+
+  const bool times = rows.front().has_times;
+  // Hottest first when wall time is available, busiest first otherwise.
+  std::sort(rows.begin(), rows.end(), [times](const Row& a, const Row& b) {
+    return times ? a.excl_us > b.excl_us : a.calls > b.calls;
+  });
+  std::printf("profile: %s (%zu zones)\n", workload.c_str(), rows.size());
+  std::printf("%-22s %10s %12s %8s %12s", "zone", "calls", "bytes",
+              "allocs", "alloc_bytes");
+  if (times) std::printf(" %10s %10s %9s", "incl_ms", "excl_ms", "ns/call");
+  std::printf("\n");
+  for (const Row& r : rows) {
+    std::printf("%-22s %10.0f %12.0f %8.0f %12.0f", r.name.c_str(), r.calls,
+                r.bytes, r.allocs, r.alloc_bytes);
+    if (times) {
+      std::printf(" %10.3f %10.3f %9.0f", r.incl_us / 1e3, r.excl_us / 1e3,
+                  r.calls > 0 ? r.excl_us * 1e3 / r.calls : 0.0);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool lifecycle = false;
   bool demo = false;
+  bool prof = false;
   const char* path = nullptr;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -71,10 +155,13 @@ int main(int argc, char** argv) {
       lifecycle = true;
     } else if (arg == "--demo") {
       demo = true;
+    } else if (arg == "--prof") {
+      prof = true;
     } else {
       path = argv[i];
     }
   }
+  if (prof) return prof_report(path);
 
   obs::ImportStats stats;
   std::vector<obs::Event> events;
@@ -96,8 +183,18 @@ int main(int argc, char** argv) {
               << " malformed line(s) of " << stats.lines << '\n';
   }
   if (events.empty()) {
-    std::cerr << "trace_summary: no events (usage: trace_summary "
-                 "[--lifecycle] [trace.jsonl | --demo])\n";
+    const char* what = path != nullptr ? path : "stdin";
+    if (stats.lines == 0) {
+      std::cerr << "trace_summary: " << what
+                << " is empty — nothing to summarize (usage: trace_summary "
+                   "[--lifecycle|--prof] [file | --demo])\n";
+    } else {
+      std::cerr << "trace_summary: no trace events in " << stats.lines
+                << " line(s) of " << what << " ("
+                << (stats.malformed != 0 ? "malformed input"
+                                         : "not a trace JSONL?")
+                << ")\n";
+    }
     return stats.malformed != 0 ? 2 : 1;
   }
 

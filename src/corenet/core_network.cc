@@ -2,6 +2,7 @@
 
 #include "common/codec.h"
 #include "common/params.h"
+#include "obs/prof.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
 #include "simcore/log.h"
@@ -363,6 +364,8 @@ void CoreNetwork::handle_pdu_request(
 
   // ---- SEED uplink report path (DIAG DNN with payload labels).
   if (proto::DiagDnnCodec::is_diag(m.dnn) && m.dnn.labels().size() > 1) {
+    PROF_ZONE("core.collab_rx");
+    PROF_BYTES(m.dnn.wire_size());
     if (!seed_enabled_ || !ue.seed_ctx) {
       reject_pdu(ue, m.hdr, sm(SmCause::kMissingOrUnknownDnn));
       return;
@@ -677,6 +680,10 @@ void CoreNetwork::assist(UeContext& ue, const core::FailureEvent& event) {
 }
 
 void CoreNetwork::send_diag_fragments(UeContext& ue) {
+  PROF_ZONE("core.collab_tx");
+  if (ue.next_frag < ue.pending_frags.size()) {
+    PROF_BYTES(ue.pending_frags[ue.next_frag].size());
+  }
   if (ue.next_frag >= ue.pending_frags.size()) {
     if (!ue.pending_frags.empty()) {
       // Final fragment just got ACKed: transfer complete (Fig. 12 trans).

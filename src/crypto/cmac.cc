@@ -1,5 +1,7 @@
 #include "crypto/cmac.h"
 
+#include "obs/prof.h"
+
 namespace seed::crypto {
 
 namespace {
@@ -61,6 +63,9 @@ Block aes_cmac(const Key128& key, BytesView message) {
 std::uint32_t eia2_mac(const Key128& key, std::uint32_t count,
                        std::uint8_t bearer, std::uint8_t direction,
                        BytesView message) {
+  PROF_ZONE("crypto.eia2");
+  PROF_BYTES(message.size());
+  PROF_ALLOC(8 + message.size());  // COUNT|BEARER header copy of the message
   Bytes m;
   m.reserve(8 + message.size());
   m.push_back(static_cast<std::uint8_t>(count >> 24));

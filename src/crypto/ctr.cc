@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/prof.h"
+
 namespace seed::crypto {
 
 namespace {
@@ -29,6 +31,9 @@ Bytes aes_ctr(const Key128& key, const Block& initial_counter, BytesView data) {
 
 Bytes eea2_crypt(const Key128& key, std::uint32_t count, std::uint8_t bearer,
                  std::uint8_t direction, BytesView data) {
+  PROF_ZONE("crypto.eea2");
+  PROF_BYTES(data.size());
+  PROF_ALLOC(data.size());  // keystream-XORed output buffer
   Block iv{};
   iv[0] = static_cast<std::uint8_t>(count >> 24);
   iv[1] = static_cast<std::uint8_t>(count >> 16);

@@ -4,6 +4,7 @@
 
 #include "chaos/chaos.h"
 #include "common/params.h"
+#include "obs/prof.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
 #include "seedproto/diag_payload.h"
@@ -319,6 +320,8 @@ void Modem::registration_settled(bool success) {
 // ------------------------------------------------------------------- auth
 
 void Modem::handle_auth_request(const nas::AuthenticationRequest& m) {
+  PROF_ZONE("modem.collab_rx");
+  PROF_BYTES(m.rand.size() + m.autn.size());
   if (chaos_ != nullptr && proto::is_dflag(m.rand)) {
     // Impaired collaboration channel: the downlink AUTN diag fragment may
     // be lost (core's ack-guard retransmits), bit-flipped (the SIM's MAC
@@ -765,6 +768,8 @@ void Modem::send_diag_report(const std::vector<nas::Dnn>& dnns, Done done) {
 }
 
 void Modem::transmit_report_fragment(std::size_t idx) {
+  PROF_ZONE("modem.collab_tx");
+  PROF_BYTES(pending_report_[idx].wire_size());
   if (chaos_ != nullptr) {
     report_outstanding_ = true;
     report_guard_.arm(kReportAckGuard,

@@ -2,6 +2,8 @@
 
 #include <type_traits>
 
+#include "obs/prof.h"
+
 namespace seed::nas {
 
 namespace {
@@ -560,6 +562,7 @@ std::string_view msg_type_name(MsgType t) {
 }
 
 Bytes encode_message(const NasMessage& msg) {
+  PROF_ZONE("nas.encode");
   Writer w;
   std::visit(
       [&](const auto& m) {
@@ -572,10 +575,15 @@ Bytes encode_message(const NasMessage& msg) {
         encode_body(w, m);
       },
       msg);
-  return std::move(w).take();
+  Bytes wire = std::move(w).take();
+  PROF_BYTES(wire.size());
+  PROF_ALLOC(wire.size());
+  return wire;
 }
 
 std::optional<NasMessage> decode_message(BytesView data) {
+  PROF_ZONE("nas.decode");
+  PROF_BYTES(data.size());
   Reader r(data);
   const std::uint8_t epd = r.u8();
   if (!r.ok()) return std::nullopt;

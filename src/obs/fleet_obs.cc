@@ -4,13 +4,16 @@
 
 namespace seed::obs {
 
-void begin_shard_obs(bool traces, bool metrics) {
+void begin_shard_obs(bool traces, bool metrics, bool profile) {
   Tracer& t = Tracer::instance();
   t.clear();
   t.enable(traces);
   Registry& r = Registry::instance();
   r.clear();
   r.enable(metrics);
+  Profiler& p = Profiler::instance();
+  p.clear();
+  p.enable(profile);
 }
 
 ShardObs end_shard_obs() {
@@ -26,12 +29,17 @@ ShardObs end_shard_obs() {
   out.metrics = r.snapshot();
   r.enable(false);
   r.clear();
+  Profiler& p = Profiler::instance();
+  out.profile = p.rows();
+  p.enable(false);
+  p.clear();
   return out;
 }
 
 void merge_shard_obs(ShardObs&& shard) {
   Tracer::instance().absorb(std::move(shard.trace_events));
   Registry::instance().merge_from(shard.metrics);
+  Profiler::instance().absorb(shard.profile);
 }
 
 }  // namespace seed::obs

@@ -11,6 +11,7 @@
 
 #include <vector>
 
+#include "obs/prof.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
 
@@ -20,11 +21,15 @@ namespace seed::obs {
 struct ShardObs {
   std::vector<Event> trace_events;
   Registry metrics;
+  std::vector<ProfRow> profile;
 };
 
 /// Arms the calling thread's obs world for a shard: clears any state left
 /// by a previous shard on this worker and enables the requested halves.
-void begin_shard_obs(bool traces = true, bool metrics = true);
+/// Profiling defaults OFF (matching the main-thread default); a workload
+/// that wants a merged profile opts every shard in explicitly.
+void begin_shard_obs(bool traces = true, bool metrics = true,
+                     bool profile = false);
 
 /// Snapshots and clears the calling thread's obs state; call at the end
 /// of the shard body, still on the worker thread.
@@ -32,7 +37,9 @@ ShardObs end_shard_obs();
 
 /// Folds a shard capture into the calling thread's singletons. Call in
 /// shard order: tracer spans are renumbered in arrival order and gauge
-/// merges are last-write-wins.
+/// merges are last-write-wins. Profile rows merge by zone name with
+/// commutative sums, so the merged profile is identical for any worker
+/// count or merge order.
 void merge_shard_obs(ShardObs&& shard);
 
 }  // namespace seed::obs

@@ -1,5 +1,6 @@
 #include "seed/infra_assist.h"
 
+#include "obs/prof.h"
 #include "obs/trace.h"
 #include "simcore/log.h"
 
@@ -122,6 +123,7 @@ bool DiagnosisCache::cacheable(const FailureEvent& event,
 }
 
 std::uint64_t DiagnosisCache::digest(const FailureEvent& event) {
+  PROF_ZONE("diagcache.digest");
   // FNV-1a, folding in every field classify_failure reads.
   std::uint64_t h = 0xcbf29ce484222325ull;
   const auto mix = [&h](std::uint64_t v) {
@@ -162,6 +164,7 @@ DiagnosisCache::Key DiagnosisCache::key_of(const FailureEvent& event) {
 }
 
 const AssistAdvice* DiagnosisCache::lookup(const FailureEvent& event) {
+  PROF_ZONE("diagcache.lookup");
   const auto it = entries_.find(key_of(event));
   if (it == entries_.end()) {
     ++stats_.misses;

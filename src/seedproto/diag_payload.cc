@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "common/codec.h"
+#include "obs/prof.h"
 
 namespace seed::proto {
 
@@ -86,6 +87,8 @@ std::optional<DiagInfo> DiagInfo::decode(BytesView data) {
 //   fragment k>0: bytes 1.. payload
 std::vector<std::array<std::uint8_t, 16>> AutnCodec::fragment(
     BytesView frame) {
+  PROF_ZONE("seedproto.fragment");
+  PROF_BYTES(frame.size());
   constexpr std::size_t kFirstPayload = 14;
   constexpr std::size_t kRestPayload = 15;
   if (frame.size() > kFirstPayload + 14 * kRestPayload) {
@@ -122,6 +125,8 @@ void AutnCodec::Reassembler::reset() {
 
 std::optional<Bytes> AutnCodec::Reassembler::feed(
     const std::array<std::uint8_t, 16>& autn) {
+  PROF_ZONE("seedproto.reassemble");
+  PROF_BYTES(autn.size());
   const std::uint8_t seq = autn[0] >> 4;
   const std::uint8_t total = autn[0] & 0x0f;
   if (total == 0 || seq >= total) {

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "common/codec.h"
+#include "obs/prof.h"
 
 namespace seed::proto {
 
@@ -76,6 +77,8 @@ bool DiagDnnCodec::is_diag(const nas::Dnn& dnn) {
 // Per-DNN payload budget: kMaxWireSize(100) - (1 + 5 label0) = 94 bytes of
 // label space; each payload label costs 1 length byte.
 std::vector<nas::Dnn> DiagDnnCodec::pack(BytesView frame) {
+  PROF_ZONE("seedproto.fragment");
+  PROF_BYTES(frame.size());
   // Payload capacity per DNN: remaining wire budget minus per-label length
   // bytes. With 94 bytes of wire left we fit one 63-byte label (64 wire)
   // and one 29-byte label (30 wire) = 92 payload bytes... keep it simple:
@@ -116,6 +119,8 @@ void DiagDnnCodec::Reassembler::reset() {
 }
 
 std::optional<Bytes> DiagDnnCodec::Reassembler::feed(const nas::Dnn& dnn) {
+  PROF_ZONE("seedproto.reassemble");
+  PROF_BYTES(dnn.wire_size());
   if (!is_diag(dnn) || dnn.labels()[0].size() != kDiagTag.size() + 1) {
     reset();
     return std::nullopt;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/prof.h"
+
 namespace seed::sim {
 
 TimerId Simulator::schedule_at(TimePoint t, Callback cb) {
@@ -82,7 +84,13 @@ bool Simulator::pop_one() {
     probe_(live_count_, processed_);
   }
   current_tag_ = tag;
-  cb();
+  {
+    // Event dispatch is the root zone: every instrumented path that runs
+    // inside a callback (codec, crypto, collab, cache) nests under it, so
+    // sim.dispatch's exclusive time is the loop-and-glue cost itself.
+    PROF_ZONE("sim.dispatch");
+    cb();
+  }
   current_tag_ = 0;
   return true;
 }

@@ -65,7 +65,7 @@ MultiTestbed::MultiTestbed(std::uint64_t seed, const MultiOptions& opts)
 
   for (std::size_t i = 0; i < opts.ue_count; ++i) {
     device::DeviceOptions dopts;
-    dopts.scheme = opts.scheme;
+    dopts.scheme = scheme_of(i);
     dopts.profile.suci = nas::Suci{{310, 260}, supi_of(i).substr(8)};
     dopts.profile.preferred_plmn = {310, 260};
     dopts.profile.dnn = "internet";
@@ -232,7 +232,96 @@ void MultiTestbed::inject_dp(corenet::UeId ue, DpFailure f) {
   dev.modem().restart_data_session();
 }
 
+void MultiTestbed::schedule_policy_desk_fix(corenet::UeId ue) {
+  // A network-side erroneous policy is the one delivery class the device
+  // cannot fix alone: SEED-R UEs get it corrected through the uplink
+  // report (handle_diag_report rewrites the effective policy), SEED-U UEs
+  // wait for the operator's support desk (§3.1 user action, compressed to
+  // simulation scale). The desk restore is idempotent after a SEED-R fix.
+  const double fix_s = rng_.uniform(180.0, 420.0);
+  sim_.schedule_after(sim::secs_f(fix_s), [this, ue] {
+    if (const corenet::Subscriber* s = db_.find(supi_of(ue))) {
+      core_->set_effective_policy(ue, s->policy);
+    }
+  });
+}
+
+device::Scheme MultiTestbed::scheme_of(std::size_t i) const {
+  if (opts_.scheme == Scheme::kSeedU && opts_.seed_r_every > 0 &&
+      i % opts_.seed_r_every == 0) {
+    return Scheme::kSeedR;
+  }
+  return opts_.scheme;
+}
+
+void MultiTestbed::inject_delivery(corenet::UeId ue, DeliveryFailure f) {
+  sim::Simulator::TagScope tag(sim_, ue + 1);
+  switch (f) {
+    case DeliveryFailure::kStaleSession:
+      core_->make_sessions_stale(ue);
+      break;
+    case DeliveryFailure::kTcpBlock: {
+      corenet::TrafficPolicy p;
+      p.tcp_blocked = true;
+      core_->set_effective_policy(ue, p);
+      schedule_policy_desk_fix(ue);
+      break;
+    }
+    case DeliveryFailure::kUdpBlock: {
+      corenet::TrafficPolicy p;
+      p.udp_blocked = true;
+      core_->set_effective_policy(ue, p);
+      schedule_policy_desk_fix(ue);
+      break;
+    }
+    case DeliveryFailure::kDnsOutage:
+      // Carrier-wide (one LDNS for the whole city); a storm injecting it
+      // per-UE would take every UE down at once. Not sampled here.
+      return;
+  }
+  obs::emit_failure_injected(1, 0);
+  obs::count(obs::ue_series("fleet.injections", ue + 1));
+  // An app daemon notices the dead flow and files a report through the
+  // SEED report API (detection latency itself is Fig. 3's experiment).
+  // SEED-U applets decide locally; SEED-R applets forward the report
+  // over the DIAG-DNN uplink — the path diag_reports_rx counts.
+  sim_.schedule_after(sim::ms(300), [this, ue, f] {
+    proto::FailureReport r;
+    switch (f) {
+      case DeliveryFailure::kUdpBlock:
+        r.type = proto::FailureType::kUdp;
+        r.port = 5004;
+        break;
+      default:
+        r.type = proto::FailureType::kTcp;
+        r.port = 443;
+        break;
+    }
+    r.direction = proto::TrafficDirection::kBoth;
+    r.addr = nas::Ipv4{{203, 0, 113, 10}};
+    sim::Simulator::TagScope report_tag(sim_, ue + 1);
+    slots_[ue].dev->carrier_app().report_failure(r);
+  });
+}
+
 void MultiTestbed::inject_sampled(corenet::UeId ue) {
+  if (rng_.chance(opts_.delivery_failure_prob)) {
+    // Delivery-failure slice of the storm: stale gateway state dominates,
+    // erroneous traffic policies split the rest (Table 1's operational
+    // data-delivery classes).
+    static const double w[] = {6.0, 1.0, 1.0};
+    switch (rng_.weighted_index(w)) {
+      case 0:
+        inject_delivery(ue, DeliveryFailure::kStaleSession);
+        return;
+      case 1:
+        inject_delivery(ue, DeliveryFailure::kTcpBlock);
+        return;
+      default:
+        inject_delivery(ue, DeliveryFailure::kUdpBlock);
+        return;
+    }
+  }
   const SampledFailure s = sample_table1_failure(rng_);
   if (s.control_plane) {
     inject_cp(ue, s.cp);

@@ -48,6 +48,18 @@ struct MultiOptions {
   /// Gap between consecutive device power-ons at bring-up; staggering
   /// keeps the attach stampede from synchronizing every retry timer.
   sim::Duration power_on_stagger = sim::ms(20);
+  /// Mixed deployment: every Nth UE runs SEED-R (infrastructure-decided
+  /// recovery) instead of the base kSeedU scheme, so a storm exercises
+  /// the uplink collab report path alongside the downlink assistance
+  /// path. 0 = the whole fleet runs `scheme`. Ignored unless `scheme`
+  /// is kSeedU.
+  std::size_t seed_r_every = 4;
+  /// Probability that a sampled storm injection is a data-delivery
+  /// failure (stale gateway state, erroneous traffic policy) instead of
+  /// a Table-1 NAS failure. Delivery failures produce no NAS reject —
+  /// they are detected by the device and, on SEED-R UEs, reported over
+  /// the DIAG-DNN uplink.
+  double delivery_failure_prob = 0.15;
 };
 
 class MultiTestbed {
@@ -64,8 +76,17 @@ class MultiTestbed {
   // cascade is attributed in the trace.
   void inject_cp(corenet::UeId ue, CpFailure f);
   void inject_dp(corenet::UeId ue, DpFailure f);
-  /// Samples the Table 1 mix and injects it on `ue`.
+  /// Data-delivery failure (no NAS reject): the app daemon notices and
+  /// files a report through the SEED report API; SEED-R UEs forward it
+  /// over the uplink collab channel. kDnsOutage is carrier-wide and not
+  /// injectable per-UE here.
+  void inject_delivery(corenet::UeId ue, DeliveryFailure f);
+  /// Samples the storm mix (Table 1 NAS failures plus
+  /// `delivery_failure_prob` delivery failures) and injects it on `ue`.
   void inject_sampled(corenet::UeId ue);
+
+  /// Scheme a fleet index runs under the configured SEED-R mix.
+  device::Scheme scheme_of(std::size_t i) const;
 
   /// Rolling congestion: every `period`, the next contiguous window of
   /// ceil(fraction * N) UEs turns congested for `dwell` (a congestion
@@ -96,6 +117,7 @@ class MultiTestbed {
 
   void congestion_wave(sim::Duration period, sim::Duration dwell,
                        double fraction, std::size_t next_start);
+  void schedule_policy_desk_fix(corenet::UeId ue);
 
   sim::Simulator sim_;
   sim::Rng rng_;

@@ -128,6 +128,33 @@ TEST(MultiUe, OnlineLearningAggregatesAcrossUes) {
   EXPECT_GE(mt.learner().record_count(Testbed::kCustomDpCode), crowd);
 }
 
+TEST(MultiUe, DeliveryFailuresProduceUplinkReports) {
+  // The storm's SEED-R slice must exercise the DIAG-DNN uplink: a
+  // delivery failure on a SEED-R UE ends in a parsed report at the core
+  // (this is the regression guard for BENCH_city.json's diag_reports_rx,
+  // which once sat at 0 because every storm UE was SEED-U and no
+  // delivery failures were ever injected).
+  MultiOptions opts = plain_options(8);
+  opts.seed_r_every = 4;  // UEs 0 and 4 run SEED-R
+  MultiTestbed mt(707, opts);
+  mt.bring_up_all();
+  EXPECT_EQ(mt.scheme_of(0), device::Scheme::kSeedR);
+  EXPECT_EQ(mt.scheme_of(1), device::Scheme::kSeedU);
+  ASSERT_EQ(mt.core().stats().diag_reports_rx, 0u);
+
+  mt.inject_delivery(0, DeliveryFailure::kTcpBlock);
+  mt.simulator().run_for(sim::minutes(5));
+  EXPECT_GT(mt.core().stats().diag_reports_rx, 0u);
+  EXPECT_TRUE(run_until_healthy(mt, 0));
+
+  // SEED-U UEs recover from stale gateway state locally — no uplink
+  // report, but a healthy path.
+  const auto reports_before = mt.core().stats().diag_reports_rx;
+  mt.inject_delivery(1, DeliveryFailure::kStaleSession);
+  ASSERT_TRUE(run_until_healthy(mt, 1));
+  EXPECT_EQ(mt.core().stats().diag_reports_rx, reports_before);
+}
+
 TEST(MultiUe, TraceSpansCarryPerUeTags) {
   auto& tracer = obs::Tracer::instance();
   tracer.clear();

@@ -1,0 +1,265 @@
+// Profiler semantics: zone nesting and reentrancy accounting, byte/alloc
+// attribution, deterministic log2 histograms, disabled-path inertness,
+// name-keyed shard merging — and the headline guarantee, a merged fleet
+// profile that is byte-identical for 1, 2, and 8 workers.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/minijson.h"
+#include "common/perf_gate.h"
+#include "obs/fleet_obs.h"
+#include "obs/prof.h"
+#include "testbed/profile_workload.h"
+
+namespace seed::obs {
+namespace {
+
+class ProfTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Profiler::instance().clear();
+    Profiler::instance().enable(true);
+  }
+  void TearDown() override {
+    Profiler::instance().enable(false);
+    Profiler::instance().clear();
+  }
+
+  static const ZoneStats* stats_of(const std::vector<ProfRow>& rows,
+                                   const std::string& name) {
+    for (const ProfRow& r : rows) {
+      if (r.name == name) return &r.stats;
+    }
+    return nullptr;
+  }
+};
+
+TEST_F(ProfTest, CountsCallsAndAttributesBytesToInnermostZone) {
+  if (!SEED_PROF_COMPILED) GTEST_SKIP() << "profiler compiled out";
+  for (int i = 0; i < 3; ++i) {
+    PROF_ZONE("t.outer");
+    PROF_BYTES(100);
+    {
+      PROF_ZONE("t.inner");
+      PROF_BYTES(5);
+      PROF_ALLOC(32);
+    }
+  }
+  const auto rows = Profiler::instance().rows();
+  const ZoneStats* outer = stats_of(rows, "t.outer");
+  const ZoneStats* inner = stats_of(rows, "t.inner");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(outer->calls, 3u);
+  EXPECT_EQ(inner->calls, 3u);
+  EXPECT_EQ(outer->bytes, 300u);  // inner bytes never leak to the parent
+  EXPECT_EQ(inner->bytes, 15u);
+  EXPECT_EQ(inner->allocs, 3u);
+  EXPECT_EQ(inner->alloc_bytes, 96u);
+  // log2 buckets: 100 -> bit_width 7, 5 -> bit_width 3.
+  EXPECT_EQ(outer->bytes_hist[7], 3u);
+  EXPECT_EQ(inner->bytes_hist[3], 3u);
+}
+
+TEST_F(ProfTest, NestingSubtractsChildTimeFromParentExclusive) {
+  if (!SEED_PROF_COMPILED) GTEST_SKIP() << "profiler compiled out";
+  {
+    PROF_ZONE("t.parent");
+    for (int i = 0; i < 50; ++i) {
+      PROF_ZONE("t.child");
+      // Enough work that the child's inclusive time is nonzero even on a
+      // coarse clock.
+      volatile unsigned sink = 0;
+      for (unsigned j = 0; j < 1000; ++j) sink = sink + j;
+    }
+  }
+  const auto rows = Profiler::instance().rows();
+  const ZoneStats* parent = stats_of(rows, "t.parent");
+  const ZoneStats* child = stats_of(rows, "t.child");
+  ASSERT_NE(parent, nullptr);
+  ASSERT_NE(child, nullptr);
+  EXPECT_EQ(parent->calls, 1u);
+  EXPECT_EQ(child->calls, 50u);
+  // Exclusive <= inclusive always; the 50 child bodies dominate the
+  // parent's span, so the parent keeps strictly less than all of it.
+  EXPECT_LE(parent->excl_ns, parent->incl_ns);
+  EXPECT_LT(parent->excl_ns, parent->incl_ns - child->incl_ns / 2);
+  // The child has no children: exclusive == inclusive.
+  EXPECT_EQ(child->excl_ns, child->incl_ns);
+}
+
+TEST_F(ProfTest, ReentrantZoneCountsInclusiveTimeOnce) {
+  const ZoneId zone = prof_zone_id("t.recursive");
+  // Simulate recursion depth 4: the same zone opened inside itself.
+  auto& p = Profiler::instance();
+  p.begin(zone);
+  p.begin(zone);
+  p.begin(zone);
+  p.begin(zone);
+  volatile unsigned sink = 0;
+  for (unsigned j = 0; j < 10000; ++j) sink = sink + j;
+  p.end();
+  p.end();
+  p.end();
+  p.end();
+  const auto rows = p.rows();
+  const ZoneStats* st = stats_of(rows, "t.recursive");
+  ASSERT_NE(st, nullptr);
+  EXPECT_EQ(st->calls, 4u);
+  // Inclusive time is recorded only at the outermost instance — had each
+  // nesting level added its own span, incl would be ~4x excl. The total
+  // exclusive time equals the outermost span (every ns belongs to
+  // exactly one instance), so incl ~= sum(excl), never ~4x.
+  EXPECT_GE(st->incl_ns, st->excl_ns / 2);
+  EXPECT_LE(st->incl_ns, st->excl_ns + st->excl_ns / 2 + 1000);
+}
+
+TEST_F(ProfTest, DisabledProfilerRecordsNothing) {
+  Profiler::instance().enable(false);
+  {
+    PROF_ZONE("t.dark");
+    PROF_BYTES(123);
+    PROF_ALLOC(456);
+  }
+  EXPECT_TRUE(Profiler::instance().rows().empty());
+}
+
+TEST_F(ProfTest, ClearInsideOpenZoneIsSafe) {
+  if (!SEED_PROF_COMPILED) GTEST_SKIP() << "profiler compiled out";
+  {
+    PROF_ZONE("t.interrupted");
+    Profiler::instance().clear();
+    // The guard's end() must tolerate the vanished frame.
+  }
+  EXPECT_TRUE(Profiler::instance().rows().empty());
+  {
+    PROF_ZONE("t.after");
+  }
+  const auto rows = Profiler::instance().rows();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].name, "t.after");
+  EXPECT_EQ(rows[0].stats.calls, 1u);
+}
+
+TEST_F(ProfTest, AbsorbMergesByNameCommutatively) {
+  ZoneStats a;
+  a.calls = 10;
+  a.bytes = 100;
+  a.bytes_hist[3] = 10;
+  ZoneStats b;
+  b.calls = 5;
+  b.bytes = 70;
+  b.bytes_hist[3] = 4;
+  b.bytes_hist[5] = 1;
+  const std::vector<ProfRow> shard1{{"t.zone", a}, {"t.only1", b}};
+  const std::vector<ProfRow> shard2{{"t.zone", b}};
+
+  auto merged = [](const std::vector<ProfRow>& x,
+                   const std::vector<ProfRow>& y) {
+    auto& p = Profiler::instance();
+    p.clear();
+    p.absorb(x);
+    p.absorb(y);
+    std::ostringstream os;
+    p.dump_json(os, "t", /*include_times=*/false);
+    p.clear();
+    return os.str();
+  };
+  const std::string fwd = merged(shard1, shard2);
+  const std::string rev = merged(shard2, shard1);
+  EXPECT_EQ(fwd, rev);
+  EXPECT_NE(fwd.find("\"name\":\"t.zone\",\"calls\":15"), std::string::npos);
+}
+
+// The headline determinism contract: the canonical fleet profiling
+// workload merges to byte-identical deterministic dumps for 1, 2, and 8
+// workers (scheduling and shard->thread placement must never show).
+TEST(ProfFleetTest, MergedProfileIsByteIdenticalAcrossWorkerCounts) {
+  if (!SEED_PROF_COMPILED) GTEST_SKIP() << "profiler compiled out";
+  testbed::ProfileWorkload w;
+  // Trimmed workload: worker-count independence doesn't need the full
+  // BENCH-sized run (the committed artifact itself is regenerated and
+  // gated by bench_city_storm + bench_gate in CI).
+  w.shards = 4;
+  w.ues_per_shard = 3;
+  w.injections_per_shard = 8;
+
+  std::string dumps[3];
+  const std::size_t workers[3] = {1, 2, 8};
+  for (int i = 0; i < 3; ++i) {
+    const auto rows = testbed::run_profile_workload(w, workers[i]);
+    ASSERT_FALSE(rows.empty());
+    std::ostringstream os;
+    dump_prof_json(os, "profile_fleet", rows, /*include_times=*/false);
+    dumps[i] = os.str();
+  }
+  EXPECT_EQ(dumps[0], dumps[1]);
+  EXPECT_EQ(dumps[0], dumps[2]);
+
+  // The dump parses, and covers every instrumented subsystem.
+  const minijson::Value doc = minijson::parse(dumps[0]);
+  const auto& zones = doc.at("profile").at("zones").as_array();
+  std::vector<std::string> names;
+  for (const auto& z : zones) names.push_back(z.at("name").as_string());
+  for (const char* expect :
+       {"sim.dispatch", "nas.encode", "nas.decode", "crypto.eea2",
+        "crypto.eia2", "diagcache.digest", "diagcache.lookup",
+        "seedproto.fragment", "seedproto.reassemble", "modem.collab_rx",
+        "modem.collab_tx", "core.collab_tx"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expect), names.end())
+        << "zone missing from fleet profile: " << expect;
+  }
+}
+
+// The perf gate's tolerance-band logic — including that a synthetic
+// regression actually fails (the gate guards the gate).
+TEST(PerfGateTest, ExactAndRatioBandsCatchRegressions) {
+  const std::string baseline_json =
+      "{\"gates\":["
+      "{\"name\":\"g.exact\",\"file\":\"x.json\",\"path\":[\"events\"],"
+      "\"value\":500,\"exact\":true},"
+      "{\"name\":\"g.ratio\",\"file\":\"x.json\",\"path\":[\"eps\"],"
+      "\"value\":1000,\"min_ratio\":0.25,\"max_ratio\":4}"
+      "]}";
+  const auto gates = gate::parse_baseline(minijson::parse(baseline_json));
+  ASSERT_EQ(gates.size(), 2u);
+
+  EXPECT_TRUE(gate::evaluate(gates[0], 500).pass);
+  EXPECT_FALSE(gate::evaluate(gates[0], 499).pass);   // exact means exact
+  EXPECT_TRUE(gate::evaluate(gates[1], 250).pass);    // on the band edge
+  EXPECT_FALSE(gate::evaluate(gates[1], 249).pass);   // synthetic regression
+  EXPECT_TRUE(gate::evaluate(gates[1], 4000).pass);
+  EXPECT_FALSE(gate::evaluate(gates[1], 4001).pass);  // suspicious speedup
+
+  // Zone gates pull from profile dumps by name.
+  const std::string prof_json =
+      "{\"profile\":{\"workload\":\"t\",\"zones\":["
+      "{\"name\":\"nas.encode\",\"calls\":42,\"bytes\":7,\"allocs\":0,"
+      "\"alloc_bytes\":0,\"bytes_hist\":[]}]}}";
+  gate::GateSpec zg;
+  zg.name = "g.zone";
+  zg.file = "BENCH_profile.json";
+  zg.zone = "nas.encode";
+  zg.field = "calls";
+  zg.value = 42;
+  zg.exact = true;
+  EXPECT_EQ(gate::extract_value(zg, minijson::parse(prof_json)), 42.0);
+  EXPECT_THROW(
+      {
+        gate::GateSpec missing = zg;
+        missing.zone = "no.such.zone";
+        gate::extract_value(missing, minijson::parse(prof_json));
+      },
+      minijson::ParseError);
+
+  // Baselines round-trip byte-for-byte (the --update-baseline contract).
+  const std::string rendered = gate::render_baseline(gates);
+  const auto reparsed = gate::parse_baseline(minijson::parse(rendered));
+  EXPECT_EQ(gate::render_baseline(reparsed), rendered);
+}
+
+}  // namespace
+}  // namespace seed::obs
