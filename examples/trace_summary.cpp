@@ -126,13 +126,17 @@ int prof_report(const char* path) {
     return times ? a.excl_us > b.excl_us : a.calls > b.calls;
   });
   std::printf("profile: %s (%zu zones)\n", workload.c_str(), rows.size());
-  std::printf("%-22s %10s %12s %8s %12s", "zone", "calls", "bytes",
-              "allocs", "alloc_bytes");
+  std::printf("%-22s %10s %12s %8s %12s %9s %9s", "zone", "calls", "bytes",
+              "allocs", "alloc_bytes", "allocs/op", "bytes/op");
   if (times) std::printf(" %10s %10s %9s", "incl_ms", "excl_ms", "ns/call");
   std::printf("\n");
   for (const Row& r : rows) {
-    std::printf("%-22s %10.0f %12.0f %8.0f %12.0f", r.name.c_str(), r.calls,
-                r.bytes, r.allocs, r.alloc_bytes);
+    // Per-op amortized columns: a steady-state zero here is the zero-copy
+    // contract; a fraction just under 1 usually means warm-up-only growth.
+    const double per_call = r.calls > 0 ? 1.0 / r.calls : 0.0;
+    std::printf("%-22s %10.0f %12.0f %8.0f %12.0f %9.3f %9.1f",
+                r.name.c_str(), r.calls, r.bytes, r.allocs, r.alloc_bytes,
+                r.allocs * per_call, r.alloc_bytes * per_call);
     if (times) {
       std::printf(" %10.3f %10.3f %9.0f", r.incl_us / 1e3, r.excl_us / 1e3,
                   r.calls > 0 ? r.excl_us * 1e3 / r.calls : 0.0);

@@ -21,6 +21,12 @@ void Writer::tlv8(std::uint8_t tag, BytesView value) {
   lv8(value);
 }
 
+void Writer::lv8_end(std::size_t value_start) {
+  const std::size_t len = buf_.size() - value_start;
+  if (len > 0xff) throw std::length_error("lv8_end: value too long");
+  buf_[value_start - 1] = static_cast<std::uint8_t>(len);
+}
+
 void Writer::patch_u16(std::size_t offset, std::uint16_t v) {
   if (offset + 2 > buf_.size()) {
     throw std::out_of_range("patch_u16: offset out of range");
@@ -63,25 +69,24 @@ std::uint64_t Reader::u64() {
   return (hi << 32) | lo;
 }
 
-Bytes Reader::raw(std::size_t n) {
+BytesView Reader::raw(std::size_t n) {
   if (!has(n)) return {};
-  Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
-            data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  const BytesView out = data_.subspan(pos_, n);
   pos_ += n;
   return out;
 }
 
-Bytes Reader::lv8() {
+BytesView Reader::lv8() {
   const std::size_t n = u8();
   return raw(n);
 }
 
-Bytes Reader::lv16() {
+BytesView Reader::lv16() {
   const std::size_t n = u16();
   return raw(n);
 }
 
-Bytes Reader::rest() { return raw(remaining()); }
+BytesView Reader::rest() { return raw(remaining()); }
 
 void Reader::skip(std::size_t n) {
   if (has(n)) pos_ += n;

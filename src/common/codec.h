@@ -4,11 +4,17 @@
 // sets a sticky failure flag and returns zero values, so parse functions
 // can run to completion and check `ok()` once at the end. This is the
 // idiomatic pattern for parsing untrusted network bytes without UB.
+//
+// Zero-copy contract: Reader::raw/lv8/lv16/rest return BytesView
+// subviews of the input buffer — valid exactly as long as the bytes the
+// Reader was constructed over. Decoders that store a field beyond the
+// parse must copy explicitly (Bytes(v.begin(), v.end())).
 #pragma once
 
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <utility>
 
 #include "common/bytes.h"
 
@@ -17,6 +23,10 @@ namespace seed {
 class Writer {
  public:
   Writer() = default;
+  /// Arena-reuse constructor: adopts `reuse`'s storage (cleared, capacity
+  /// kept) so a long-lived scratch buffer serves many encodes without
+  /// re-allocating. Recover the buffer with std::move(w).take().
+  explicit Writer(Bytes&& reuse) : buf_(std::move(reuse)) { buf_.clear(); }
 
   void u8(std::uint8_t v) { buf_.push_back(v); }
   void u16(std::uint16_t v) {
@@ -47,8 +57,24 @@ class Writer {
   /// Tag-length-value with u8 tag and u8 length.
   void tlv8(std::uint8_t tag, BytesView value);
 
+  /// Open a u8 length-prefixed value written in place (no inner Writer,
+  /// no copy): lv8_begin reserves the length byte and returns its offset;
+  /// write the value through this Writer, then lv8_end back-patches the
+  /// length. Throws std::length_error if the value exceeds 255 bytes.
+  std::size_t lv8_begin() {
+    u8(0);
+    return buf_.size();  // offset of the first value byte
+  }
+  void lv8_end(std::size_t value_start);
+  /// TLV variant: writes the tag, then opens the length-prefixed value.
+  std::size_t tlv8_begin(std::uint8_t tag) {
+    u8(tag);
+    return lv8_begin();
+  }
+
   std::size_t size() const { return buf_.size(); }
   const Bytes& bytes() const& { return buf_; }
+  BytesView view() const { return buf_; }
   Bytes take() && { return std::move(buf_); }
 
   /// Patches a previously written u16 at `offset` (for length back-fill).
@@ -67,14 +93,14 @@ class Reader {
   std::uint32_t u24();
   std::uint32_t u32();
   std::uint64_t u64();
-  /// Reads exactly n bytes; returns empty and fails if not available.
-  Bytes raw(std::size_t n);
-  /// Reads a u8 length prefix then that many bytes.
-  Bytes lv8();
-  /// Reads a u16 length prefix then that many bytes.
-  Bytes lv16();
-  /// Reads all remaining bytes.
-  Bytes rest();
+  /// Views exactly n bytes; returns empty and fails if not available.
+  BytesView raw(std::size_t n);
+  /// Reads a u8 length prefix then views that many bytes.
+  BytesView lv8();
+  /// Reads a u16 length prefix then views that many bytes.
+  BytesView lv16();
+  /// Views all remaining bytes.
+  BytesView rest();
   /// Skips n bytes (fails if not available).
   void skip(std::size_t n);
 

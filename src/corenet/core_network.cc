@@ -32,7 +32,7 @@ const CoreNetwork::UeContext& CoreNetwork::context(UeId ue) const {
 }
 
 UeId CoreNetwork::attach_device(const std::string& supi, ran::Gnb& gnb,
-                                std::function<void(Bytes)> downlink) {
+                                std::function<void(BytesView)> downlink) {
   UeContext* ue = nullptr;
   const auto it = supi_to_ue_.find(supi);
   if (it != supi_to_ue_.end()) {
@@ -53,7 +53,7 @@ UeId CoreNetwork::attach_device(const std::string& supi, ran::Gnb& gnb,
 }
 
 void CoreNetwork::attach_device(const std::string& supi,
-                                std::function<void(Bytes)> downlink) {
+                                std::function<void(BytesView)> downlink) {
   attach_device(supi, gnb_, std::move(downlink));
 }
 
@@ -99,11 +99,13 @@ void CoreNetwork::send(UeContext& ue, const nas::NasMessage& msg) {
   ++stats_.nas_tx;
   ++ue.stats.nas_tx;
   cpu_.charge("nas_tx", 0.0002);
-  Bytes wire = nas::encode_message(msg);
+  Bytes wire = tx_pool_.acquire();
+  nas::encode_message_into(msg, wire);
   const auto latency = params::kCoreProcessing + params::kGnbCoreLatency +
                        ue.gnb->hop_latency();
-  sim_.schedule_after(latency, [&ue, wire = std::move(wire)] {
+  sim_.schedule_after(latency, [this, &ue, wire = std::move(wire)]() mutable {
     if (ue.downlink && ue.gnb->radio_up()) ue.downlink(wire);
+    tx_pool_.release(std::move(wire));
   });
 }
 
@@ -370,12 +372,11 @@ void CoreNetwork::handle_pdu_request(
       reject_pdu(ue, m.hdr, sm(SmCause::kMissingOrUnknownDnn));
       return;
     }
-    const auto frame = ue.report_reassembler.feed(m.dnn);
+    const auto frame = ue.report_reassembler.feed_view(m.dnn);
     if (frame) {
-      const auto plain =
-          ue.seed_ctx->unprotect(*frame, crypto::Direction::kUplink);
-      if (plain) {
-        const auto report = proto::FailureReport::decode(*plain);
+      if (ue.seed_ctx->unprotect_into(*frame, crypto::Direction::kUplink,
+                                      collab_plain_)) {
+        const auto report = proto::FailureReport::decode(collab_plain_);
         if (report) {
           ++stats_.diag_reports_rx;
           ++ue.stats.diag_reports_rx;
@@ -658,9 +659,14 @@ void CoreNetwork::assist(UeContext& ue, const core::FailureEvent& event) {
 
   ++stats_.diag_downlinks;
   ++ue.stats.diag_downlinks;
-  const Bytes frame =
-      ue.seed_ctx->protect(advice.diag->encode(), crypto::Direction::kDownlink);
-  ue.pending_frags = proto::AutnCodec::fragment(frame);
+  // Scratch-composed downlink: encode -> protect -> fragment without
+  // intermediate copies (all buffers recycled across transfers).
+  Writer w(std::move(diag_scratch_));
+  advice.diag->encode_into(w);
+  diag_scratch_ = std::move(w).take();
+  ue.seed_ctx->protect_into(diag_scratch_, crypto::Direction::kDownlink,
+                            frame_scratch_);
+  proto::AutnCodec::fragment_into(frame_scratch_, ue.pending_frags);
   SLOG(kInfo, "core") << "assistance -> SIM (cause #"
                       << int(advice.diag->cause) << ", "
                       << ue.pending_frags.size() << " AUTN fragment(s))";

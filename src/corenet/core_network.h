@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "common/buffer_pool.h"
 #include "common/bytes.h"
 #include "crypto/milenage.h"
 #include "crypto/security_context.h"
@@ -152,11 +153,13 @@ class CoreNetwork {
   // ----- wiring (N devices per core; UeId 0 is the primary)
   /// Attaches a device on its own gNB link; returns its UeId. Attaching
   /// a SUPI that is already attached rebinds that UE's link in place.
+  /// `downlink` receives a view of the wire bytes; it must consume them
+  /// during the call (the backing buffer is recycled afterwards).
   UeId attach_device(const std::string& supi, ran::Gnb& gnb,
-                     std::function<void(Bytes)> downlink);
+                     std::function<void(BytesView)> downlink);
   /// Single-UE convenience: primary UE on the constructor's gNB.
   void attach_device(const std::string& supi,
-                     std::function<void(Bytes)> downlink);
+                     std::function<void(BytesView)> downlink);
   void on_uplink(UeId ue, BytesView wire);
   void on_uplink(BytesView wire) { on_uplink(kPrimary, wire); }
   std::size_t ue_count() const { return ues_.size(); }
@@ -233,7 +236,7 @@ class CoreNetwork {
     UeId id;
     std::string supi;
     ran::Gnb* gnb = nullptr;
-    std::function<void(Bytes)> downlink;
+    std::function<void(BytesView)> downlink;
 
     // AMF state
     bool registered = false;
@@ -325,6 +328,15 @@ class CoreNetwork {
   CoreStats stats_;
   std::vector<double> diag_prep_ms_;
   std::vector<double> diag_trans_ms_;
+
+  /// Reusable wire buffers for send(): encode_message_into() writes into a
+  /// recycled buffer, so steady-state TX performs no allocations.
+  BufferPool tx_pool_;
+  /// Collab-path scratch (synchronous use only, never captured): plaintext
+  /// assistance encode, protected downlink frame, decrypted uplink report.
+  Bytes diag_scratch_;
+  Bytes frame_scratch_;
+  Bytes collab_plain_;
 };
 
 }  // namespace seed::corenet

@@ -28,30 +28,42 @@ Block generate_subkey(const Block& l) {
 
 }  // namespace
 
-Block aes_cmac(const Key128& key, BytesView message) {
-  const Aes128 aes(key);
+void cmac_subkeys(const Aes128& aes, Block& k1, Block& k2) {
   Block zero{};
   const Block l = aes.encrypt(zero);
-  const Block k1 = generate_subkey(l);
-  const Block k2 = generate_subkey(k1);
+  k1 = generate_subkey(l);
+  k2 = generate_subkey(k1);
+}
 
-  const std::size_t n = message.size();
-  const std::size_t full_blocks = n == 0 ? 0 : (n - 1) / 16;  // all but last
+Block aes_cmac_seg(const Aes128& aes, const Block& k1, const Block& k2,
+                   BytesView header, BytesView message) {
+  const std::size_t h = header.size();
+  const std::size_t total = h + message.size();
+  const std::size_t full_blocks = total == 0 ? 0 : (total - 1) / 16;
   Block x{};  // running CBC state
 
+  // XORs logical bytes [off, off+len) of header||message into dst.
+  const auto absorb = [&](std::size_t off, std::size_t len, Block& dst) {
+    for (std::size_t i = 0; i < len; ++i) {
+      const std::size_t p = off + i;
+      dst[i] ^= p < h ? header[p] : message[p - h];
+    }
+  };
+
   for (std::size_t b = 0; b < full_blocks; ++b) {
-    for (std::size_t i = 0; i < 16; ++i) x[i] ^= message[b * 16 + i];
+    absorb(b * 16, 16, x);
     aes.encrypt_block(x);
   }
 
   // Last block: complete -> XOR K1; partial/empty -> pad 10* and XOR K2.
   Block last{};
   const std::size_t tail_off = full_blocks * 16;
-  const std::size_t tail_len = n - tail_off;
-  if (n > 0 && tail_len == 16) {
-    for (std::size_t i = 0; i < 16; ++i) last[i] = message[tail_off + i] ^ k1[i];
+  const std::size_t tail_len = total - tail_off;
+  if (total > 0 && tail_len == 16) {
+    absorb(tail_off, 16, last);
+    for (std::size_t i = 0; i < 16; ++i) last[i] ^= k1[i];
   } else {
-    for (std::size_t i = 0; i < tail_len; ++i) last[i] = message[tail_off + i];
+    absorb(tail_off, tail_len, last);
     last[tail_len] = 0x80;
     for (std::size_t i = 0; i < 16; ++i) last[i] ^= k2[i];
   }
@@ -60,28 +72,53 @@ Block aes_cmac(const Key128& key, BytesView message) {
   return x;
 }
 
+Block aes_cmac(const Key128& key, BytesView message) {
+  const Aes128 aes(key);
+  Block k1, k2;
+  cmac_subkeys(aes, k1, k2);
+  return aes_cmac_seg(aes, k1, k2, {}, message);
+}
+
+namespace {
+
+// Shared unzoned EIA2 core: wrappers open the crypto.eia2 zone exactly
+// once each (the profiler counts a call per begin(), even reentrant).
+std::uint32_t eia2_core(const Aes128& aes, const Block& k1, const Block& k2,
+                        std::uint32_t count, std::uint8_t bearer,
+                        std::uint8_t direction, BytesView message) {
+  const std::uint8_t header[8] = {
+      static_cast<std::uint8_t>(count >> 24),
+      static_cast<std::uint8_t>(count >> 16),
+      static_cast<std::uint8_t>(count >> 8),
+      static_cast<std::uint8_t>(count),
+      static_cast<std::uint8_t>(((bearer & 0x1f) << 3) |
+                                ((direction & 0x01) << 2)),
+      0, 0, 0};
+  const Block tag = aes_cmac_seg(aes, k1, k2, BytesView(header, 8), message);
+  return (static_cast<std::uint32_t>(tag[0]) << 24) |
+         (static_cast<std::uint32_t>(tag[1]) << 16) |
+         (static_cast<std::uint32_t>(tag[2]) << 8) | tag[3];
+}
+
+}  // namespace
+
 std::uint32_t eia2_mac(const Key128& key, std::uint32_t count,
                        std::uint8_t bearer, std::uint8_t direction,
                        BytesView message) {
   PROF_ZONE("crypto.eia2");
   PROF_BYTES(message.size());
-  PROF_ALLOC(8 + message.size());  // COUNT|BEARER header copy of the message
-  Bytes m;
-  m.reserve(8 + message.size());
-  m.push_back(static_cast<std::uint8_t>(count >> 24));
-  m.push_back(static_cast<std::uint8_t>(count >> 16));
-  m.push_back(static_cast<std::uint8_t>(count >> 8));
-  m.push_back(static_cast<std::uint8_t>(count));
-  m.push_back(static_cast<std::uint8_t>(((bearer & 0x1f) << 3) |
-                                        ((direction & 0x01) << 2)));
-  m.push_back(0);
-  m.push_back(0);
-  m.push_back(0);
-  m.insert(m.end(), message.begin(), message.end());
-  const Block tag = aes_cmac(key, m);
-  return (static_cast<std::uint32_t>(tag[0]) << 24) |
-         (static_cast<std::uint32_t>(tag[1]) << 16) |
-         (static_cast<std::uint32_t>(tag[2]) << 8) | tag[3];
+  const Aes128 aes(key);
+  Block k1, k2;
+  cmac_subkeys(aes, k1, k2);
+  return eia2_core(aes, k1, k2, count, bearer, direction, message);
+}
+
+std::uint32_t eia2_mac(const Aes128& aes, const Block& k1, const Block& k2,
+                       std::uint32_t count, std::uint8_t bearer,
+                       std::uint8_t direction, BytesView message) {
+  PROF_ZONE("crypto.eia2");
+  PROF_BYTES(message.size());
+  return eia2_core(aes, k1, k2, count, bearer, direction, message);
 }
 
 }  // namespace seed::crypto

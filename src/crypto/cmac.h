@@ -9,8 +9,20 @@
 
 namespace seed::crypto {
 
+/// Derives the CMAC subkeys K1/K2 from an expanded key schedule
+/// (SP 800-38B §6.1). Cache these alongside the Aes128 to MAC many
+/// messages under one key without re-deriving.
+void cmac_subkeys(const Aes128& aes, Block& k1, Block& k2);
+
 /// Full 128-bit AES-CMAC tag over `message`.
 Block aes_cmac(const Key128& key, BytesView message);
+
+/// CMAC against pre-derived subkeys: tag over the logical concatenation
+/// `header || message` without materializing it (the EIA2 path MACs an
+/// 8-byte COUNT/BEARER/DIRECTION header ahead of the payload; copying
+/// the payload just to prepend 8 bytes doubled its allocation bill).
+Block aes_cmac_seg(const Aes128& aes, const Block& k1, const Block& k2,
+                   BytesView header, BytesView message);
 
 /// 3GPP 128-EIA2: 32-bit MAC over COUNT(32) || BEARER(5)|padding || DIRECTION
 /// prepended as an 8-byte header, per TS 33.401. `direction` is 0 (uplink)
@@ -18,5 +30,11 @@ Block aes_cmac(const Key128& key, BytesView message);
 std::uint32_t eia2_mac(const Key128& key, std::uint32_t count,
                        std::uint8_t bearer, std::uint8_t direction,
                        BytesView message);
+
+/// EIA2 against a cached key schedule + subkeys: no per-call expansion,
+/// no header-copy of the message, no allocation.
+std::uint32_t eia2_mac(const Aes128& aes, const Block& k1, const Block& k2,
+                       std::uint32_t count, std::uint8_t bearer,
+                       std::uint8_t direction, BytesView message);
 
 }  // namespace seed::crypto

@@ -9,6 +9,10 @@
 // channels like the 16-byte AUTN field (paper: "The 16B AUTH suffices to
 // hold the cause code and most updated configurations").
 // The receiver enforces a strictly-increasing counter (replay protection).
+//
+// The context owns one expanded AES-128 key schedule plus the CMAC
+// subkeys, built once at construction and reused by EEA2 and EIA2 across
+// every message — the steady-state path never re-expands the key.
 #pragma once
 
 #include <cstdint>
@@ -30,9 +34,18 @@ class SecurityContext {
   /// consumes one counter value for `dir`.
   Bytes protect(BytesView plaintext, Direction dir);
 
+  /// Allocation-free protect: writes COUNT||cipher||MAC into `frame`
+  /// (resized to plaintext.size() + kOverhead; no allocation once the
+  /// buffer's capacity has warmed up). `plaintext` must not alias `frame`.
+  void protect_into(BytesView plaintext, Direction dir, Bytes& frame);
+
   /// Verifies and decrypts a frame. Returns nullopt on truncated frames,
   /// bad MAC, or replayed/stale counters.
   std::optional<Bytes> unprotect(BytesView frame, Direction dir);
+
+  /// Allocation-free unprotect: on success writes the plaintext into
+  /// `plain` and returns true. `frame` must not alias `plain`.
+  bool unprotect_into(BytesView frame, Direction dir, Bytes& plain);
 
   std::uint32_t tx_count(Direction dir) const {
     return tx_count_[static_cast<std::size_t>(dir)];
@@ -42,7 +55,8 @@ class SecurityContext {
   static constexpr std::size_t kOverhead = 4;
 
  private:
-  Key128 key_;
+  Aes128 aes_;        // expanded once, shared by EEA2 + EIA2
+  Block k1_, k2_;     // CMAC subkeys for the cached EIA2 path
   std::uint8_t bearer_;
   std::uint32_t tx_count_[2] = {0, 0};
   // Highest counter accepted so far per direction; -1 = none yet.

@@ -26,11 +26,12 @@ Device::Device(sim::Simulator& sim, sim::Rng& rng, ran::Gnb& gnb,
   // Attach before building the modem so the uplink closure can carry our
   // UeId (the first device to attach becomes the core's primary, UeId 0,
   // so single-device testbeds behave exactly as before).
-  ue_id_ = core.attach_device(options.profile.suci.to_string(), gnb,
-                              [this](Bytes wire) { modem_->on_downlink(wire); });
+  ue_id_ = core.attach_device(
+      options.profile.suci.to_string(), gnb,
+      [this](BytesView wire) { modem_->on_downlink(wire); });
   modem_ = std::make_unique<modem::Modem>(
       sim, rng, *applet_, gnb,
-      [&core, id = ue_id_](Bytes wire) { core.on_uplink(id, wire); });
+      [&core, id = ue_id_](BytesView wire) { core.on_uplink(id, wire); });
 
   traffic_ = std::make_unique<transport::TrafficEngine>(sim, rng, *modem_,
                                                         core, ue_id_);

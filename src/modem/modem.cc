@@ -63,7 +63,7 @@ nas::Dnn corrupt_diag_dnn(const nas::Dnn& dnn, const chaos::BitFlip& flip) {
 }  // namespace
 
 Modem::Modem(sim::Simulator& sim, sim::Rng& rng, SimCard& sim_card,
-             ran::Gnb& gnb, std::function<void(Bytes)> uplink)
+             ran::Gnb& gnb, std::function<void(BytesView)> uplink)
     : sim_(sim),
       rng_(rng),
       sim_card_(sim_card),
@@ -90,11 +90,13 @@ void Modem::notify_data_state() {
 
 void Modem::send(const nas::NasMessage& msg) {
   SLOG(kDebug, "modem") << "-> " << nas::msg_type_name(nas::message_type(msg));
-  Bytes wire = nas::encode_message(msg);
+  Bytes wire = tx_pool_.acquire();
+  nas::encode_message_into(msg, wire);
   const auto latency = params::kModemProcessing + gnb_.hop_latency() +
                        params::kGnbCoreLatency;
-  sim_.schedule_after(latency, [this, wire = std::move(wire)] {
+  sim_.schedule_after(latency, [this, wire = std::move(wire)]() mutable {
     if (uplink_ && gnb_.radio_up()) uplink_(wire);
+    tx_pool_.release(std::move(wire));
   });
 }
 

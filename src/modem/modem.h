@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "common/buffer_pool.h"
 #include "common/bytes.h"
 #include "modem/sim_iface.h"
 #include "nas/messages.h"
@@ -61,8 +62,10 @@ class Modem : public ModemControl {
   static constexpr std::uint8_t kDiagPsi = 2;
   static constexpr std::uint8_t kSwapPsi = 3;
 
+  /// `uplink` receives a view of the wire bytes; it must consume them
+  /// during the call (the backing buffer is recycled afterwards).
   Modem(sim::Simulator& sim, sim::Rng& rng, SimCard& sim_card, ran::Gnb& gnb,
-        std::function<void(Bytes)> uplink);
+        std::function<void(BytesView)> uplink);
 
   // ----- OS-facing API
   /// Boot: read SIM profile, attach, bring up the default data session.
@@ -176,7 +179,10 @@ class Modem : public ModemControl {
   sim::Rng& rng_;
   SimCard& sim_card_;
   ran::Gnb& gnb_;
-  std::function<void(Bytes)> uplink_;
+  std::function<void(BytesView)> uplink_;
+  // Reusable wire buffers for send(): encode_message_into() writes into a
+  // recycled buffer, so steady-state TX performs no allocations.
+  BufferPool tx_pool_;
 
   MmState mm_ = MmState::kIdle;
   bool have_guti_ = false;

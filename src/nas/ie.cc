@@ -219,23 +219,23 @@ std::size_t Dnn::wire_size() const {
 }
 
 void Dnn::encode(Writer& w) const {
-  Writer inner;
-  for (const auto& l : labels_) inner.lv8(l);
-  w.lv8(inner.bytes());
+  const std::size_t body = w.lv8_begin();
+  for (const auto& l : labels_) w.lv8(l);
+  w.lv8_end(body);
 }
 
 std::optional<Dnn> Dnn::decode(Reader& r) {
-  const Bytes body = r.lv8();
+  const BytesView body = r.lv8();
   if (!r.ok()) return std::nullopt;
   Reader inner(body);
   std::vector<Bytes> labels;
   while (inner.remaining() > 0) {
-    Bytes label = inner.lv8();
+    const BytesView label = inner.lv8();
     if (!inner.ok()) {
       r.fail();
       return std::nullopt;
     }
-    labels.push_back(std::move(label));
+    labels.emplace_back(label.begin(), label.end());
   }
   return from_labels(std::move(labels));
 }
@@ -285,21 +285,21 @@ void PacketFilter::encode(Writer& w) const {
   w.u8(static_cast<std::uint8_t>((id & 0x0f) |
                                  (static_cast<std::uint8_t>(direction) << 4)));
   w.u8(precedence);
-  Writer comps;
+  const std::size_t comps = w.lv8_begin();
   if (protocol != IpProtocol::kAny) {
-    comps.u8(kCompProtocol);
-    comps.u8(static_cast<std::uint8_t>(protocol));
+    w.u8(kCompProtocol);
+    w.u8(static_cast<std::uint8_t>(protocol));
   }
   if (remote_addr) {
-    comps.u8(kCompRemoteAddr);
-    comps.raw(Bytes(remote_addr->octets.begin(), remote_addr->octets.end()));
+    w.u8(kCompRemoteAddr);
+    w.raw(BytesView(remote_addr->octets.data(), remote_addr->octets.size()));
   }
   if (remote_port_lo) {
-    comps.u8(kCompPortRange);
-    comps.u16(*remote_port_lo);
-    comps.u16(remote_port_hi.value_or(*remote_port_lo));
+    w.u8(kCompPortRange);
+    w.u16(*remote_port_lo);
+    w.u16(remote_port_hi.value_or(*remote_port_lo));
   }
-  w.lv8(comps.bytes());
+  w.lv8_end(comps);
 }
 
 std::optional<PacketFilter> PacketFilter::decode(Reader& r) {
@@ -313,7 +313,7 @@ std::optional<PacketFilter> PacketFilter::decode(Reader& r) {
   }
   f.direction = static_cast<Direction>(dir);
   f.precedence = r.u8();
-  const Bytes comps = r.lv8();
+  const BytesView comps = r.lv8();
   if (!r.ok()) return std::nullopt;
   Reader cr(comps);
   while (cr.remaining() > 0) {
@@ -329,7 +329,7 @@ std::optional<PacketFilter> PacketFilter::decode(Reader& r) {
         break;
       }
       case kCompRemoteAddr: {
-        const Bytes a = cr.raw(4);
+        const BytesView a = cr.raw(4);
         if (!cr.ok()) {
           r.fail();
           return std::nullopt;

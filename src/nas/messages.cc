@@ -35,15 +35,15 @@ void write_sm_header(Writer& w, const SmHeader& h, MsgType t) {
 
 template <typename T>
 void encode_ie_tlv(Writer& w, std::uint8_t tag, const T& ie) {
-  Writer inner;
-  ie.encode(inner);
-  w.tlv8(tag, inner.bytes());
+  const std::size_t value = w.tlv8_begin(tag);
+  ie.encode(w);
+  w.lv8_end(value);
 }
 
 void encode_u32_tlv(Writer& w, std::uint8_t tag, std::uint32_t v) {
-  Writer inner;
-  inner.u32(v);
-  w.tlv8(tag, inner.bytes());
+  w.u8(tag);
+  w.u8(4);
+  w.u32(v);
 }
 
 // Iterates the optional-TLV tail; `handler(tag, Reader&)` returns false on
@@ -52,7 +52,7 @@ template <typename Handler>
 bool parse_tlvs(Reader& r, Handler&& handler) {
   while (r.ok() && r.remaining() > 0) {
     const std::uint8_t tag = r.u8();
-    const Bytes value = r.lv8();
+    const BytesView value = r.lv8();
     if (!r.ok()) return false;
     Reader vr(value);
     if (!handler(tag, vr)) return false;
@@ -189,8 +189,8 @@ void encode_body(Writer& w, const AuthenticationRequest& m) {
 std::optional<AuthenticationRequest> decode_authentication_request(Reader& r) {
   AuthenticationRequest m;
   m.ngksi = r.u8();
-  const Bytes rand = r.raw(16);
-  const Bytes autn = r.raw(16);
+  const BytesView rand = r.raw(16);
+  const BytesView autn = r.raw(16);
   if (!r.done() || m.ngksi > 7) return std::nullopt;
   for (std::size_t i = 0; i < 16; ++i) {
     m.rand[i] = rand[i];
@@ -206,7 +206,8 @@ void encode_body(Writer& w, const AuthenticationResponse& m) {
 std::optional<AuthenticationResponse> decode_authentication_response(
     Reader& r) {
   AuthenticationResponse m;
-  m.res = r.lv8();
+  const BytesView res = r.lv8();
+  m.res.assign(res.begin(), res.end());
   if (!r.done() || m.res.size() < 4 || m.res.size() > 16) return std::nullopt;
   return m;
 }
@@ -216,9 +217,9 @@ void encode_body(Writer&, const AuthenticationReject&) {}
 void encode_body(Writer& w, const AuthenticationFailure& m) {
   w.u8(m.cause);
   if (m.auts) {
-    Writer inner;
-    inner.raw(BytesView(m.auts->data(), m.auts->size()));
-    w.tlv8(kIeiAuts, inner.bytes());
+    w.u8(kIeiAuts);
+    w.u8(static_cast<std::uint8_t>(m.auts->size()));
+    w.raw(BytesView(m.auts->data(), m.auts->size()));
   }
 }
 
@@ -227,7 +228,7 @@ std::optional<AuthenticationFailure> decode_authentication_failure(Reader& r) {
   m.cause = r.u8();
   const bool ok = parse_tlvs(r, [&](std::uint8_t tag, Reader& vr) {
     if (tag == kIeiAuts) {
-      const Bytes a = vr.raw(14);
+      const BytesView a = vr.raw(14);
       if (!vr.ok()) return false;
       std::array<std::uint8_t, 14> auts{};
       for (std::size_t i = 0; i < 14; ++i) auts[i] = a[i];
@@ -319,8 +320,8 @@ std::optional<PduSessionEstablishmentRequest> decode_pdu_estb_request(
 
 void encode_body(Writer& w, const PduSessionEstablishmentAccept& m) {
   w.u8(static_cast<std::uint8_t>(m.type));
-  w.raw(Bytes(m.ue_addr.octets.begin(), m.ue_addr.octets.end()));
-  w.raw(Bytes(m.dns_addr.octets.begin(), m.dns_addr.octets.end()));
+  w.raw(BytesView(m.ue_addr.octets.data(), m.ue_addr.octets.size()));
+  w.raw(BytesView(m.dns_addr.octets.data(), m.dns_addr.octets.size()));
   m.qos.encode(w);
   if (m.tft) encode_ie_tlv(w, kIeiTft, *m.tft);
 }
@@ -332,8 +333,8 @@ std::optional<PduSessionEstablishmentAccept> decode_pdu_estb_accept(
   const std::uint8_t type = r.u8();
   if (type < 1 || type > 5) return std::nullopt;
   m.type = static_cast<PduSessionType>(type);
-  const Bytes ue = r.raw(4);
-  const Bytes dns = r.raw(4);
+  const BytesView ue = r.raw(4);
+  const BytesView dns = r.raw(4);
   if (!r.ok()) return std::nullopt;
   for (std::size_t i = 0; i < 4; ++i) {
     m.ue_addr.octets[i] = ue[i];
@@ -421,9 +422,9 @@ void encode_body(Writer& w, const PduSessionModificationCommand& m) {
   if (m.tft) encode_ie_tlv(w, kIeiTft, *m.tft);
   if (m.qos) encode_ie_tlv(w, kIeiQos, *m.qos);
   if (m.dns_addr) {
-    Writer inner;
-    inner.raw(Bytes(m.dns_addr->octets.begin(), m.dns_addr->octets.end()));
-    w.tlv8(kIeiDns, inner.bytes());
+    w.u8(kIeiDns);
+    w.u8(static_cast<std::uint8_t>(m.dns_addr->octets.size()));
+    w.raw(BytesView(m.dns_addr->octets.data(), m.dns_addr->octets.size()));
   }
 }
 
@@ -445,7 +446,7 @@ std::optional<PduSessionModificationCommand> decode_pdu_mod_command(
       return true;
     }
     if (tag == kIeiDns) {
-      const Bytes a = vr.raw(4);
+      const BytesView a = vr.raw(4);
       if (!vr.ok()) return false;
       Ipv4 ip;
       for (std::size_t i = 0; i < 4; ++i) ip.octets[i] = a[i];
@@ -561,9 +562,9 @@ std::string_view msg_type_name(MsgType t) {
   return "Unknown";
 }
 
-Bytes encode_message(const NasMessage& msg) {
-  PROF_ZONE("nas.encode");
-  Writer w;
+namespace {
+
+void encode_to_writer(Writer& w, const NasMessage& msg) {
   std::visit(
       [&](const auto& m) {
         using T = std::decay_t<decltype(m)>;
@@ -575,10 +576,32 @@ Bytes encode_message(const NasMessage& msg) {
         encode_body(w, m);
       },
       msg);
+}
+
+}  // namespace
+
+Bytes encode_message(const NasMessage& msg) {
+  PROF_ZONE("nas.encode");
+  Writer w;
+  encode_to_writer(w, msg);
   Bytes wire = std::move(w).take();
   PROF_BYTES(wire.size());
   PROF_ALLOC(wire.size());
   return wire;
+}
+
+BytesView encode_message_into(const NasMessage& msg, Bytes& scratch) {
+  PROF_ZONE("nas.encode");
+  const std::size_t warm_capacity = scratch.capacity();
+  Writer w(std::move(scratch));
+  encode_to_writer(w, msg);
+  scratch = std::move(w).take();
+  PROF_BYTES(scratch.size());
+  // A real allocation happened only if the scratch outgrew its warmed-up
+  // capacity; steady state (pooled buffers) records zero allocs. Counted
+  // by message size, not capacity, so the profile stays platform-exact.
+  if (scratch.capacity() > warm_capacity) PROF_ALLOC(scratch.size());
+  return scratch;
 }
 
 std::optional<NasMessage> decode_message(BytesView data) {

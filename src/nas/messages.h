@@ -204,6 +204,12 @@ using NasMessage = std::variant<
 /// Serializes any NAS message to wire bytes.
 Bytes encode_message(const NasMessage& msg);
 
+/// Allocation-free encode: serializes into `scratch` (cleared first,
+/// capacity kept) and returns a view of the wire bytes. The view is valid
+/// until the next use of `scratch`. Steady state allocates nothing once
+/// the scratch capacity has warmed up to the largest message seen.
+BytesView encode_message_into(const NasMessage& msg, Bytes& scratch);
+
 /// Parses wire bytes; nullopt on any malformed input (wrong EPD, unknown
 /// type, truncated body, trailing garbage, invalid field values).
 std::optional<NasMessage> decode_message(BytesView data);

@@ -30,6 +30,11 @@ std::string_view reset_action_name(ResetAction a) {
 
 Bytes DiagInfo::encode() const {
   Writer w;
+  encode_into(w);
+  return std::move(w).take();
+}
+
+void DiagInfo::encode_into(Writer& w) const {
   w.u8(static_cast<std::uint8_t>(kind));
   w.u8(plane == nas::Plane::kControl ? 0 : 1);
   w.u8(cause);
@@ -44,7 +49,6 @@ Bytes DiagInfo::encode() const {
   }
   if (suggested) w.u8(static_cast<std::uint8_t>(*suggested));
   if (congestion_wait_s) w.u16(*congestion_wait_s);
-  return std::move(w).take();
 }
 
 std::optional<DiagInfo> DiagInfo::decode(BytesView data) {
@@ -66,7 +70,8 @@ std::optional<DiagInfo> DiagInfo::decode(BytesView data) {
     }
     ConfigPayload cp;
     cp.kind = static_cast<nas::ConfigKind>(ck);
-    cp.value = r.lv8();
+    const BytesView value = r.lv8();
+    cp.value.assign(value.begin(), value.end());
     d.config = std::move(cp);
   }
   if (flags & 0x02) {
@@ -85,10 +90,13 @@ std::optional<DiagInfo> DiagInfo::decode(BytesView data) {
 //   byte 0: seq (hi nibble) | total (lo nibble), seq in [0, total), total >= 1
 //   fragment 0: byte 1 = total frame length (<= 224), bytes 2.. payload
 //   fragment k>0: bytes 1.. payload
-std::vector<std::array<std::uint8_t, 16>> AutnCodec::fragment(
-    BytesView frame) {
-  PROF_ZONE("seedproto.fragment");
-  PROF_BYTES(frame.size());
+namespace {
+
+// Unzoned fragmentation core: both public wrappers open the
+// "seedproto.fragment" zone exactly once (the profiler counts a call per
+// begin(), even reentrant), then delegate here.
+void fragment_core(BytesView frame,
+                   std::vector<std::array<std::uint8_t, 16>>& out) {
   constexpr std::size_t kFirstPayload = 14;
   constexpr std::size_t kRestPayload = 15;
   if (frame.size() > kFirstPayload + 14 * kRestPayload) {
@@ -98,7 +106,7 @@ std::vector<std::array<std::uint8_t, 16>> AutnCodec::fragment(
   if (frame.size() > kFirstPayload) {
     total = 1 + (frame.size() - kFirstPayload + kRestPayload - 1) / kRestPayload;
   }
-  std::vector<std::array<std::uint8_t, 16>> out;
+  out.clear();
   std::size_t pos = 0;
   for (std::size_t seq = 0; seq < total; ++seq) {
     std::array<std::uint8_t, 16> frag{};
@@ -113,7 +121,24 @@ std::vector<std::array<std::uint8_t, 16>> AutnCodec::fragment(
     }
     out.push_back(frag);
   }
+}
+
+}  // namespace
+
+std::vector<std::array<std::uint8_t, 16>> AutnCodec::fragment(
+    BytesView frame) {
+  PROF_ZONE("seedproto.fragment");
+  PROF_BYTES(frame.size());
+  std::vector<std::array<std::uint8_t, 16>> out;
+  fragment_core(frame, out);
   return out;
+}
+
+void AutnCodec::fragment_into(BytesView frame,
+                              std::vector<std::array<std::uint8_t, 16>>& out) {
+  PROF_ZONE("seedproto.fragment");
+  PROF_BYTES(frame.size());
+  fragment_core(frame, out);
 }
 
 void AutnCodec::Reassembler::reset() {
@@ -124,6 +149,13 @@ void AutnCodec::Reassembler::reset() {
 }
 
 std::optional<Bytes> AutnCodec::Reassembler::feed(
+    const std::array<std::uint8_t, 16>& autn) {
+  const auto view = feed_view(autn);
+  if (!view) return std::nullopt;
+  return Bytes(view->begin(), view->end());
+}
+
+std::optional<BytesView> AutnCodec::Reassembler::feed_view(
     const std::array<std::uint8_t, 16>& autn) {
   PROF_ZONE("seedproto.reassemble");
   PROF_BYTES(autn.size());
@@ -138,6 +170,10 @@ std::optional<Bytes> AutnCodec::Reassembler::feed(
       reset();
       return std::nullopt;
     }
+    // Lazily drop the previous transfer's bytes (kept alive so the view
+    // returned at its completion stayed valid). clear() keeps capacity, so
+    // steady-state reassembly allocates nothing.
+    buffer_.clear();
     expected_total_ = total;
     last_len_ = autn[1];
     for (std::size_t i = 2; i < 16; ++i) buffer_.push_back(autn[i]);
@@ -160,9 +196,12 @@ std::optional<Bytes> AutnCodec::Reassembler::feed(
     reset();
     return std::nullopt;
   }
-  Bytes frame(buffer_.begin(), buffer_.begin() + last_len_);
-  reset();
-  return frame;
+  // Transfer complete. The buffer is kept (cleared lazily at the start of
+  // the next transfer) so the returned view stays valid until the next
+  // feed()/feed_view()/reset() call.
+  expected_total_ = 0;
+  received_ = 0;
+  return BytesView(buffer_.data(), last_len_);
 }
 
 }  // namespace seed::proto

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/codec.h"
 #include "nas/causes.h"
 #include "nas/ie.h"
 
@@ -72,6 +73,9 @@ struct DiagInfo {
   bool operator==(const DiagInfo&) const = default;
 
   Bytes encode() const;
+  /// Appends the encoding to `w` (arena/scratch-backed Writers make the
+  /// hot path allocation-free).
+  void encode_into(Writer& w) const;
   static std::optional<DiagInfo> decode(BytesView data);
 };
 
@@ -88,12 +92,21 @@ class AutnCodec {
   /// Throws std::length_error when the frame exceeds kMaxFrame.
   static std::vector<std::array<std::uint8_t, 16>> fragment(BytesView frame);
 
+  /// Reusable-buffer variant: clears `out` and refills it, keeping its
+  /// capacity across transfers (per-UE frag queues stay allocation-free).
+  static void fragment_into(BytesView frame,
+                            std::vector<std::array<std::uint8_t, 16>>& out);
+
   /// Streaming reassembler. Feed fragments in order; returns the full
   /// frame once complete. Out-of-order or inconsistent fragments reset
   /// the state and return nullopt.
   class Reassembler {
    public:
     std::optional<Bytes> feed(const std::array<std::uint8_t, 16>& autn);
+    /// Zero-copy variant: the returned view aliases the reassembler's
+    /// internal buffer and stays valid until the next feed()/feed_view()/
+    /// reset() call.
+    std::optional<BytesView> feed_view(const std::array<std::uint8_t, 16>& autn);
     void reset();
     std::size_t pending_fragments() const { return received_; }
 

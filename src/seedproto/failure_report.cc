@@ -24,6 +24,11 @@ std::string_view failure_type_name(FailureType t) {
 
 Bytes FailureReport::encode() const {
   Writer w;
+  encode_into(w);
+  return std::move(w).take();
+}
+
+void FailureReport::encode_into(Writer& w) const {
   w.u8(static_cast<std::uint8_t>(type));
   w.u8(static_cast<std::uint8_t>(direction));
   std::uint8_t flags = 0;
@@ -31,10 +36,13 @@ Bytes FailureReport::encode() const {
   if (port) flags |= 0x02;
   if (!domain.empty()) flags |= 0x04;
   w.u8(flags);
-  if (addr) w.raw(Bytes(addr->octets.begin(), addr->octets.end()));
+  if (addr) w.raw(BytesView(addr->octets.data(), addr->octets.size()));
   if (port) w.u16(*port);
-  if (!domain.empty()) w.lv8(to_bytes(domain));
-  return std::move(w).take();
+  if (!domain.empty()) {
+    const std::size_t body = w.lv8_begin();
+    w.str(domain);
+    w.lv8_end(body);
+  }
 }
 
 std::optional<FailureReport> FailureReport::decode(BytesView data) {
@@ -49,7 +57,7 @@ std::optional<FailureReport> FailureReport::decode(BytesView data) {
   const std::uint8_t flags = r.u8();
   if (flags & ~0x07) return std::nullopt;
   if (flags & 0x01) {
-    const Bytes a = r.raw(4);
+    const BytesView a = r.raw(4);
     if (!r.ok()) return std::nullopt;
     nas::Ipv4 ip;
     for (std::size_t i = 0; i < 4; ++i) ip.octets[i] = a[i];
@@ -119,6 +127,13 @@ void DiagDnnCodec::Reassembler::reset() {
 }
 
 std::optional<Bytes> DiagDnnCodec::Reassembler::feed(const nas::Dnn& dnn) {
+  const auto view = feed_view(dnn);
+  if (!view) return std::nullopt;
+  return Bytes(view->begin(), view->end());
+}
+
+std::optional<BytesView> DiagDnnCodec::Reassembler::feed_view(
+    const nas::Dnn& dnn) {
   PROF_ZONE("seedproto.reassemble");
   PROF_BYTES(dnn.wire_size());
   if (!is_diag(dnn) || dnn.labels()[0].size() != kDiagTag.size() + 1) {
@@ -144,6 +159,10 @@ std::optional<Bytes> DiagDnnCodec::Reassembler::feed(const nas::Dnn& dnn) {
       reset();
       return std::nullopt;
     }
+    // Lazily drop the previous transfer's bytes (kept alive so the view
+    // returned at its completion stayed valid). clear() keeps capacity, so
+    // steady-state reassembly allocates nothing.
+    buffer_.clear();
     expected_total_ = total;
   } else if (seq == received_ - 1 && total == expected_total_) {
     // Exact re-send of the fragment just consumed (duplicated PDU
@@ -161,9 +180,12 @@ std::optional<Bytes> DiagDnnCodec::Reassembler::feed(const nas::Dnn& dnn) {
   }
   ++received_;
   if (received_ < expected_total_) return std::nullopt;
-  Bytes frame = std::move(buffer_);
-  reset();
-  return frame;
+  // Transfer complete. The buffer is kept (cleared lazily at the start of
+  // the next transfer) so the returned view stays valid until the next
+  // feed()/feed_view()/reset() call.
+  expected_total_ = 0;
+  received_ = 0;
+  return BytesView(buffer_.data(), buffer_.size());
 }
 
 }  // namespace seed::proto

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/codec.h"
 #include "nas/ie.h"
 
 namespace seed::proto {
@@ -45,6 +46,9 @@ struct FailureReport {
   bool operator==(const FailureReport&) const = default;
 
   Bytes encode() const;
+  /// Appends the encoding to `w` (arena/scratch-backed Writers make the
+  /// hot path allocation-free).
+  void encode_into(Writer& w) const;
   static std::optional<FailureReport> decode(BytesView data);
 };
 
@@ -63,6 +67,10 @@ class DiagDnnCodec {
    public:
     /// Returns the full frame when the final fragment arrives.
     std::optional<Bytes> feed(const nas::Dnn& dnn);
+    /// Zero-copy variant: the returned view aliases the reassembler's
+    /// internal buffer and stays valid until the next feed()/feed_view()/
+    /// reset() call.
+    std::optional<BytesView> feed_view(const nas::Dnn& dnn);
     void reset();
 
    private:

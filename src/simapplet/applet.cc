@@ -45,11 +45,10 @@ modem::AuthResult SeedApplet::authenticate(
     // SEED downlink fragment: do not verify the key; parse the AUTH
     // (paper §4.5). ACK via synchronization failure.
     ++stats_.fragments_acked;
-    if (const auto frame = reassembler_.feed(autn)) {
-      const auto plain =
-          seed_ctx_.unprotect(*frame, crypto::Direction::kDownlink);
-      if (plain) {
-        if (const auto info = proto::DiagInfo::decode(*plain)) {
+    if (const auto frame = reassembler_.feed_view(autn)) {
+      if (seed_ctx_.unprotect_into(*frame, crypto::Direction::kDownlink,
+                                   plain_scratch_)) {
+        if (const auto info = proto::DiagInfo::decode(plain_scratch_)) {
           // Hand off to the decision module after SIM processing time.
           const proto::DiagInfo copy = *info;
           sim_.schedule_after(sim::ms(4), [this, copy] { handle_diag(copy); });
@@ -462,9 +461,14 @@ void SeedApplet::send_report_uplink(const proto::FailureReport& report) {
   const auto prep_start = sim_.now();
   const auto prep = sim::secs_f(rng_.lognormal_median(
       sim::to_seconds(params::kUplinkPrepMedian), params::kPrepSigma));
-  const Bytes frame =
-      seed_ctx_.protect(report.encode(), crypto::Direction::kUplink);
-  const auto dnns = proto::DiagDnnCodec::pack(frame);
+  // Scratch-composed uplink: encode -> protect -> pack without
+  // intermediate copies (all buffers recycled across reports).
+  Writer w(std::move(report_scratch_));
+  report.encode_into(w);
+  report_scratch_ = std::move(w).take();
+  seed_ctx_.protect_into(report_scratch_, crypto::Direction::kUplink,
+                         frame_scratch_);
+  const auto dnns = proto::DiagDnnCodec::pack(frame_scratch_);
   sim_.schedule_after(prep, [this, dnns, report, prep_start] {
     report_prep_ms_.push_back(sim::to_ms(sim_.now() - prep_start));
     const auto send_start = sim_.now();

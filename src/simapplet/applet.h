@@ -160,6 +160,11 @@ class SeedApplet : public modem::SimCard {
   core::DeviceMode mode_ = core::DeviceMode::kSeedU;
 
   proto::AutnCodec::Reassembler reassembler_;
+  /// Collab-path scratch (synchronous use only, never captured): decrypted
+  /// downlink assistance, plaintext report encode, protected uplink frame.
+  Bytes plain_scratch_;
+  Bytes report_scratch_;
+  Bytes frame_scratch_;
   core::SimRecordStore records_;
   std::map<proto::ResetAction, sim::TimePoint> last_action_time_;
   sim::TimePoint last_cause_time_{sim::Duration{-1000000000}};

@@ -106,7 +106,8 @@ std::optional<ProcedureRecord> ProcedureRecord::decode(Reader& r) {
   rec.device_model = r.u8();
   const std::uint8_t plane = r.u8();
   const std::uint8_t failed = r.u8();
-  rec.outcome_message = r.lv16();
+  const BytesView outcome = r.lv16();
+  rec.outcome_message.assign(outcome.begin(), outcome.end());
   if (!r.ok() || plane > 1 || failed > 1) return std::nullopt;
   rec.plane = plane == 0 ? nas::Plane::kControl : nas::Plane::kData;
   rec.failed = failed == 1;
@@ -123,7 +124,7 @@ Bytes Dataset::serialize() const {
 
 std::optional<Dataset> Dataset::deserialize(BytesView data) {
   Reader r(data);
-  const Bytes magic = r.raw(8);
+  const BytesView magic = r.raw(8);
   if (!r.ok() || to_string(magic) != "SEEDTRC1") return std::nullopt;
   const std::uint32_t n = r.u32();
   Dataset ds;

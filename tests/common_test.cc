@@ -71,6 +71,49 @@ TEST(Writer, Lv8RejectsOversize) {
   EXPECT_THROW(w.lv8(big), std::length_error);
 }
 
+TEST(Writer, Lv8BackPatch) {
+  Writer w;
+  const std::size_t body = w.lv8_begin();
+  w.u8(0xaa);
+  w.u16(0xbbcc);
+  w.lv8_end(body);
+  EXPECT_EQ(to_hex(w.bytes()), "03aabbcc");
+}
+
+TEST(Writer, Tlv8BackPatch) {
+  Writer w;
+  const std::size_t body = w.tlv8_begin(0x42);
+  w.u8(0xdd);
+  w.lv8_end(body);
+  const std::size_t empty = w.tlv8_begin(0x43);
+  w.lv8_end(empty);
+  EXPECT_EQ(to_hex(w.bytes()), "4201dd4300");
+}
+
+TEST(Writer, Lv8BackPatchRejectsOversize) {
+  Writer w;
+  const std::size_t body = w.lv8_begin();
+  for (int i = 0; i < 256; ++i) w.u8(0);
+  EXPECT_THROW(w.lv8_end(body), std::length_error);
+}
+
+TEST(Writer, ReusesScratchBuffer) {
+  Bytes scratch;
+  scratch.reserve(64);
+  const std::uint8_t* warm = scratch.data();
+  const std::size_t cap = scratch.capacity();
+  Writer w(std::move(scratch));
+  w.u32(0xdeadbeef);
+  EXPECT_EQ(to_hex(w.bytes()), "deadbeef");
+  Bytes back = std::move(w).take();
+  EXPECT_EQ(back.data(), warm);      // same storage, no reallocation
+  EXPECT_EQ(back.capacity(), cap);
+  // A second pass through the same buffer starts from empty again.
+  Writer w2(std::move(back));
+  w2.u8(0x01);
+  EXPECT_EQ(to_hex(w2.bytes()), "01");
+}
+
 TEST(Writer, PatchU16) {
   Writer w;
   w.u16(0);
@@ -92,7 +135,8 @@ TEST(Reader, ReadsBackWhatWriterWrote) {
   EXPECT_EQ(r.u16(), 300);
   EXPECT_EQ(r.u32(), 70000u);
   EXPECT_EQ(r.u64(), 1ULL << 40);
-  EXPECT_EQ(r.lv8(), from_hex("0102"));
+  const BytesView lv = r.lv8();
+  EXPECT_EQ(Bytes(lv.begin(), lv.end()), from_hex("0102"));
   EXPECT_TRUE(r.done());
 }
 
@@ -116,7 +160,8 @@ TEST(Reader, SkipAndRest) {
   const Bytes buf = {1, 2, 3, 4, 5};
   Reader r(buf);
   r.skip(2);
-  EXPECT_EQ(r.rest(), (Bytes{3, 4, 5}));
+  const BytesView rest = r.rest();
+  EXPECT_EQ(Bytes(rest.begin(), rest.end()), (Bytes{3, 4, 5}));
   EXPECT_TRUE(r.done());
 }
 

@@ -104,6 +104,39 @@ TEST(Cmac, DifferentMessagesDifferentTags) {
   EXPECT_NE(aes_cmac(k, from_hex("00")), aes_cmac(k, from_hex("0000")));
 }
 
+TEST(Cmac, SegmentedMatchesConcatenated) {
+  const Key128 k = key_from_hex("2b7e151628aed2a6abf7158809cf4f3c");
+  const Aes128 aes(k);
+  Block k1, k2;
+  cmac_subkeys(aes, k1, k2);
+  for (std::size_t hdr_len : {0u, 1u, 8u, 16u, 20u}) {
+    for (std::size_t msg_len : {0u, 1u, 7u, 15u, 16u, 17u, 40u}) {
+      Bytes hdr(hdr_len), msg(msg_len);
+      for (std::size_t i = 0; i < hdr_len; ++i)
+        hdr[i] = static_cast<std::uint8_t>(i + 1);
+      for (std::size_t i = 0; i < msg_len; ++i)
+        msg[i] = static_cast<std::uint8_t>(0xc0 + i);
+      Bytes cat = hdr;
+      cat.insert(cat.end(), msg.begin(), msg.end());
+      EXPECT_EQ(aes_cmac_seg(aes, k1, k2, hdr, msg), aes_cmac(k, cat))
+          << "hdr " << hdr_len << " msg " << msg_len;
+    }
+  }
+}
+
+TEST(Eia2, CachedScheduleMatchesLegacy) {
+  const Key128 k = key_from_hex("000102030405060708090a0b0c0d0e0f");
+  const Aes128 aes(k);
+  Block k1, k2;
+  cmac_subkeys(aes, k1, k2);
+  for (std::size_t len : {0u, 1u, 8u, 15u, 16u, 17u, 100u}) {
+    Bytes m(len, 0x5a);
+    for (std::size_t i = 0; i < len; ++i) m[i] ^= static_cast<std::uint8_t>(i);
+    EXPECT_EQ(eia2_mac(aes, k1, k2, 42, 7, 1, m), eia2_mac(k, 42, 7, 1, m))
+        << "len " << len;
+  }
+}
+
 TEST(Eia2, MacDependsOnAllInputs) {
   const Key128 k = key_from_hex("000102030405060708090a0b0c0d0e0f");
   const Bytes m = from_hex("deadbeef");
@@ -297,6 +330,71 @@ TEST(SecurityContext, OutOfOrderOlderFrameRejected) {
   const Bytes f1 = tx.protect(to_bytes("second"), Direction::kDownlink);
   EXPECT_TRUE(rx.unprotect(f1, Direction::kDownlink).has_value());
   EXPECT_FALSE(rx.unprotect(f0, Direction::kDownlink).has_value());
+}
+
+TEST(Ctr, CryptIntoMatchesAllocatingVariant) {
+  const Key128 k = key_from_hex("00112233445566778899aabbccddeeff");
+  const Aes128 aes(k);
+  for (std::size_t len : {0u, 1u, 15u, 16u, 17u, 100u, 1500u}) {
+    Bytes pt(len);
+    for (std::size_t i = 0; i < len; ++i) pt[i] = static_cast<std::uint8_t>(i);
+    const Bytes want = eea2_crypt(k, 9, 7, 0, pt);
+    Bytes out(len);
+    eea2_crypt_into(aes, 9, 7, 0, pt, out.data());
+    EXPECT_EQ(out, want) << "len " << len;
+    // In-place (out aliases in) must match too.
+    Bytes inplace = pt;
+    eea2_crypt_into(aes, 9, 7, 0, inplace, inplace.data());
+    EXPECT_EQ(inplace, want) << "len " << len;
+  }
+}
+
+TEST(SecurityContext, ProtectIntoMatchesProtect) {
+  const Key128 k = key_from_hex("0123456789abcdef0123456789abcdef");
+  SecurityContext tx_legacy(k, 7);
+  SecurityContext tx_into(k, 7);
+  SecurityContext rx(k, 7);
+  Bytes frame;
+  Bytes plain;
+  for (int i = 0; i < 10; ++i) {
+    const Bytes msg = to_bytes("report #" + std::to_string(i));
+    const Bytes want = tx_legacy.protect(msg, Direction::kUplink);
+    tx_into.protect_into(msg, Direction::kUplink, frame);
+    ASSERT_EQ(frame, want) << "message " << i;
+    ASSERT_TRUE(rx.unprotect_into(frame, Direction::kUplink, plain))
+        << "message " << i;
+    EXPECT_EQ(plain, msg) << "message " << i;
+  }
+}
+
+TEST(SecurityContext, UnprotectIntoRejectsSameFramesAsUnprotect) {
+  const Key128 k = key_from_hex("0123456789abcdef0123456789abcdef");
+  SecurityContext tx(k, 7);
+  SecurityContext rx(k, 7);
+  Bytes plain;
+  // Truncated frame.
+  EXPECT_FALSE(rx.unprotect_into(from_hex("0011"), Direction::kUplink, plain));
+  // Tampered payload.
+  Bytes frame = tx.protect(to_bytes("hello"), Direction::kUplink);
+  frame[5] ^= 0x01;
+  EXPECT_FALSE(rx.unprotect_into(frame, Direction::kUplink, plain));
+  frame[5] ^= 0x01;
+  EXPECT_TRUE(rx.unprotect_into(frame, Direction::kUplink, plain));
+  // Replay.
+  EXPECT_FALSE(rx.unprotect_into(frame, Direction::kUplink, plain));
+}
+
+TEST(SecurityContext, ProtectIntoReusesFrameCapacity) {
+  const Key128 k = key_from_hex("0123456789abcdef0123456789abcdef");
+  SecurityContext tx(k, 7);
+  Bytes frame;
+  frame.reserve(256);
+  const std::uint8_t* storage = frame.data();
+  const Bytes msg(64, 0xab);
+  for (int i = 0; i < 50; ++i) {
+    tx.protect_into(msg, Direction::kDownlink, frame);
+    EXPECT_EQ(frame.data(), storage) << "iteration " << i;
+  }
 }
 
 TEST(SecurityContext, EmptyPlaintext) {

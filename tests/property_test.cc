@@ -61,6 +61,56 @@ TEST_P(CtrLengthSweep, DecryptInvertsEncrypt) {
 INSTANTIATE_TEST_SUITE_P(Lengths, CtrLengthSweep,
                          ::testing::Values(0, 1, 15, 16, 17, 32, 100, 1024));
 
+// Batched CTR vs the retained scalar reference: every length 0..256
+// (covering non-block-multiple tails and whole batches) and in-place
+// operation must be byte-identical.
+TEST(CtrBatchedProperty, MatchesScalarReferenceForAllLengths) {
+  const crypto::Aes128 aes(k0());
+  sim::Rng rng(101);
+  for (std::size_t len = 0; len <= 256; ++len) {
+    Bytes in(len);
+    for (auto& b : in) b = static_cast<std::uint8_t>(rng.next());
+    crypto::Block ctr{};
+    for (auto& b : ctr) b = static_cast<std::uint8_t>(rng.next());
+    const Bytes scalar = crypto::aes_ctr_ref(k0(), ctr, in);
+    ASSERT_EQ(crypto::aes_ctr(k0(), ctr, in), scalar) << "len " << len;
+    // In-place XOR (out aliases in) must produce the same bytes.
+    Bytes inplace = in;
+    crypto::aes_ctr_xor(aes, ctr, inplace, inplace.data());
+    ASSERT_EQ(inplace, scalar) << "len " << len;
+  }
+}
+
+TEST(CtrBatchedProperty, CounterWrapBoundariesMatchScalarReference) {
+  sim::Rng rng(202);
+  Bytes in(16 * 17 + 5);  // spans multiple batches plus a partial tail
+  for (auto& b : in) b = static_cast<std::uint8_t>(rng.next());
+  // Initial counters whose low 1..16 bytes are all 0xff: the increment
+  // wraps through progressively wider carry chains mid-stream.
+  for (std::size_t ff = 1; ff <= 16; ++ff) {
+    crypto::Block ctr{};
+    for (auto& b : ctr) b = static_cast<std::uint8_t>(rng.next());
+    for (std::size_t i = 16 - ff; i < 16; ++i) ctr[i] = 0xff;
+    EXPECT_EQ(crypto::aes_ctr(k0(), ctr, in),
+              crypto::aes_ctr_ref(k0(), ctr, in))
+        << "ff-tail " << ff;
+  }
+}
+
+TEST(CtrIncrement, WrapsBigEndianCarries) {
+  crypto::Block c{};
+  c.fill(0xff);
+  crypto::ctr_increment_be(c);
+  const crypto::Block zero{};
+  EXPECT_EQ(c, zero);  // full 128-bit wrap
+  crypto::Block d{};
+  d[15] = 0xff;
+  crypto::ctr_increment_be(d);
+  crypto::Block expect{};
+  expect[14] = 0x01;
+  EXPECT_EQ(d, expect);  // single-byte carry
+}
+
 TEST(SecurityContextProperty, ManyMessagesSurviveInOrderDelivery) {
   crypto::SecurityContext tx(k0(), 7), rx(k0(), 7);
   sim::Rng rng(5);
@@ -153,6 +203,21 @@ TEST(NasProperty, RandomMessagesRoundTripCanonically) {
     // Canonical form: re-encoding the decode reproduces the wire bytes.
     EXPECT_EQ(nas::encode_message(*decoded), wire) << "iteration " << i;
     EXPECT_EQ(nas::message_type(*decoded), nas::message_type(msg));
+  }
+}
+
+TEST(NasProperty, EncodeIntoMatchesEncodeAndReusesScratch) {
+  sim::Rng rng(555);
+  Bytes scratch;
+  scratch.reserve(512);
+  const std::uint8_t* storage = scratch.data();
+  for (int i = 0; i < 2000; ++i) {
+    const nas::NasMessage msg = random_message(rng);
+    const Bytes wire = nas::encode_message(msg);
+    const BytesView view = nas::encode_message_into(msg, scratch);
+    ASSERT_EQ(Bytes(view.begin(), view.end()), wire) << "iteration " << i;
+    // A warmed-up scratch never reallocates.
+    EXPECT_EQ(scratch.data(), storage) << "iteration " << i;
   }
 }
 
@@ -309,6 +374,39 @@ TEST(ReassemblerProperty, RestartAfterAnyGarbageSequence) {
     for (const auto& f : frags) out = re.feed(f);
     ASSERT_TRUE(out.has_value()) << "trial " << trial;
     EXPECT_EQ(*out, frame);
+  }
+}
+
+// feed_view / fragment_into equivalence: the zero-copy variants must
+// reproduce the allocating API exactly, and the reused output vector /
+// internal buffer must survive back-to-back transfers.
+TEST(ReassemblerProperty, FeedViewMatchesFeedAcrossReusedTransfers) {
+  sim::Rng rng(666);
+  proto::AutnCodec::Reassembler re;
+  std::vector<std::array<std::uint8_t, 16>> frags;
+  for (int trial = 0; trial < 200; ++trial) {
+    Bytes frame(static_cast<std::size_t>(rng.uniform_int(1, 224)));
+    for (auto& b : frame) b = static_cast<std::uint8_t>(rng.next());
+    proto::AutnCodec::fragment_into(frame, frags);
+    ASSERT_EQ(frags, proto::AutnCodec::fragment(frame));
+    std::optional<BytesView> out;
+    for (const auto& f : frags) out = re.feed_view(f);
+    ASSERT_TRUE(out.has_value()) << "trial " << trial;
+    ASSERT_EQ(Bytes(out->begin(), out->end()), frame) << "trial " << trial;
+  }
+}
+
+TEST(ReassemblerProperty, DnnFeedViewMatchesFeedAcrossReusedTransfers) {
+  sim::Rng rng(888);
+  proto::DiagDnnCodec::Reassembler re;
+  for (int trial = 0; trial < 200; ++trial) {
+    Bytes frame(static_cast<std::size_t>(rng.uniform_int(1, 400)));
+    for (auto& b : frame) b = static_cast<std::uint8_t>(rng.next());
+    const auto dnns = proto::DiagDnnCodec::pack(frame);
+    std::optional<BytesView> out;
+    for (const auto& d : dnns) out = re.feed_view(d);
+    ASSERT_TRUE(out.has_value()) << "trial " << trial;
+    ASSERT_EQ(Bytes(out->begin(), out->end()), frame) << "trial " << trial;
   }
 }
 
