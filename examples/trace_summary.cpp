@@ -52,10 +52,12 @@ std::vector<obs::Event> demo_events() {
 }
 
 void print_totals(std::ostream& os, const std::vector<obs::Event>& events) {
-  std::size_t counts[static_cast<int>(obs::EventKind::kSloAlert) + 1] = {};
+  constexpr int kMaxKind =
+      static_cast<int>(obs::EventKind::kSuspectReportDropped);
+  std::size_t counts[kMaxKind + 1] = {};
   for (const obs::Event& e : events) ++counts[static_cast<int>(e.kind)];
   os << "event totals:";
-  for (int k = 0; k <= static_cast<int>(obs::EventKind::kSloAlert); ++k) {
+  for (int k = 0; k <= kMaxKind; ++k) {
     if (counts[k] == 0) continue;
     os << ' ' << obs::event_kind_name(static_cast<obs::EventKind>(k)) << '='
        << counts[k];

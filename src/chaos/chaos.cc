@@ -1,5 +1,7 @@
 #include "chaos/chaos.h"
 
+#include <utility>
+
 #include "obs/registry.h"
 #include "obs/trace.h"
 #include "simcore/fleet_runner.h"
@@ -16,20 +18,81 @@ std::string_view point_name(Point p) {
     case Point::kUplinkCorrupt: return "uplink-corrupt";
     case Point::kResetOutcome: return "reset-outcome";
     case Point::kAppletCrash: return "applet-crash";
+    case Point::kSemanticDownlink: return "semantic-downlink";
+    case Point::kSemanticUplink: return "semantic-uplink";
+    case Point::kReplayDownlink: return "replay-downlink";
+    case Point::kUnsolicitedDownlink: return "unsolicited-downlink";
     case Point::kCount: break;
   }
   return "invalid";
 }
 
+std::string_view semantic_mutation_name(SemanticMutation m) {
+  switch (m) {
+    case SemanticMutation::kTypeConfusion: return "type-confusion";
+    case SemanticMutation::kTruncatedLength: return "truncated-length";
+    case SemanticMutation::kOversizedLength: return "oversized-length";
+    case SemanticMutation::kZeroFragCount: return "zero-frag-count";
+    case SemanticMutation::kInflatedFragCount: return "inflated-frag-count";
+    case SemanticMutation::kCount: break;
+  }
+  return "invalid";
+}
+
+void apply_semantic_autn(SemanticMutation m, std::uint8_t* autn,
+                         std::size_t len) {
+  if (autn == nullptr || len < 2) return;
+  switch (m) {
+    case SemanticMutation::kTypeConfusion: autn[0] ^= 0xF0; break;
+    case SemanticMutation::kTruncatedLength: autn[1] = 0x01; break;
+    case SemanticMutation::kOversizedLength: autn[1] = 0xFF; break;
+    case SemanticMutation::kZeroFragCount: autn[0] &= 0xF0; break;
+    case SemanticMutation::kInflatedFragCount: autn[0] |= 0x0F; break;
+    case SemanticMutation::kCount: break;
+  }
+}
+
+void apply_semantic_dnn(SemanticMutation m, std::vector<Bytes>& labels) {
+  if (labels.empty() || labels.front().size() < 5) return;
+  Bytes& header = labels.front();
+  switch (m) {
+    case SemanticMutation::kTypeConfusion:
+      header[4] ^= 0xF0;
+      break;
+    case SemanticMutation::kTruncatedLength:
+      if (labels.size() > 1) labels.pop_back();
+      break;
+    case SemanticMutation::kOversizedLength:
+      header.push_back('X');  // header label must be exactly tag+1 bytes
+      break;
+    case SemanticMutation::kZeroFragCount:
+      header[4] &= 0xF0;
+      break;
+    case SemanticMutation::kInflatedFragCount:
+      header[4] |= 0x0F;
+      break;
+    case SemanticMutation::kCount:
+      break;
+  }
+}
+
+namespace {
+template <std::size_t... I>
+std::array<sim::Rng, sizeof...(I)> make_streams(std::uint64_t seed,
+                                                std::index_sequence<I...>) {
+  // Stream i seeds from shard_seed(seed, i), so appending new Points
+  // never shifts the sequences of the existing ones.
+  return {sim::Rng(sim::shard_seed(seed, I))...};
+}
+}  // namespace
+
 ChaosEngine::ChaosEngine(const ChaosConfig& config, std::uint64_t seed)
     : config_(config),
       seed_(seed),
-      streams_{
-          sim::Rng(sim::shard_seed(seed, 0)), sim::Rng(sim::shard_seed(seed, 1)),
-          sim::Rng(sim::shard_seed(seed, 2)), sim::Rng(sim::shard_seed(seed, 3)),
-          sim::Rng(sim::shard_seed(seed, 4)), sim::Rng(sim::shard_seed(seed, 5)),
-          sim::Rng(sim::shard_seed(seed, 6)), sim::Rng(sim::shard_seed(seed, 7)),
-      } {}
+      streams_(make_streams(
+          seed,
+          std::make_index_sequence<static_cast<std::size_t>(Point::kCount)>{})) {
+}
 
 bool ChaosEngine::roll(Point point, double p) {
   if (p <= 0.0) return false;
@@ -124,6 +187,66 @@ bool ChaosEngine::crash_applet() {
   if (!roll(Point::kAppletCrash, config_.applet_crash)) return false;
   ++stats_.applet_crashes;
   note(Point::kAppletCrash);
+  return true;
+}
+
+bool ChaosEngine::mutate_downlink(SemanticMutation* m) {
+  if (!roll(Point::kSemanticDownlink, config_.semantic_downlink)) return false;
+  *m = static_cast<SemanticMutation>(
+      stream(Point::kSemanticDownlink).next() %
+      static_cast<std::uint64_t>(SemanticMutation::kCount));
+  ++stats_.downlink_mutated;
+  note(Point::kSemanticDownlink);
+  return true;
+}
+
+bool ChaosEngine::mutate_uplink(SemanticMutation* m) {
+  if (!roll(Point::kSemanticUplink, config_.semantic_uplink)) return false;
+  *m = static_cast<SemanticMutation>(
+      stream(Point::kSemanticUplink).next() %
+      static_cast<std::uint64_t>(SemanticMutation::kCount));
+  ++stats_.uplink_mutated;
+  note(Point::kSemanticUplink);
+  return true;
+}
+
+void ChaosEngine::capture_downlink(const std::uint8_t* autn,
+                                   std::size_t len) {
+  if (config_.replay_downlink <= 0.0) return;
+  if (autn == nullptr || len == 0) return;
+  std::array<std::uint8_t, 16>& slot = replay_ring_[ring_next_];
+  slot.fill(0);
+  const std::size_t n = len < slot.size() ? len : slot.size();
+  for (std::size_t i = 0; i < n; ++i) slot[i] = autn[i];
+  ring_next_ = (ring_next_ + 1) % replay_ring_.size();
+  if (ring_size_ < replay_ring_.size()) ++ring_size_;
+}
+
+bool ChaosEngine::replay_stale_downlink(std::array<std::uint8_t, 16>* autn) {
+  if (!roll(Point::kReplayDownlink, config_.replay_downlink)) return false;
+  if (ring_size_ == 0) return false;
+  const std::size_t idx =
+      static_cast<std::size_t>(stream(Point::kReplayDownlink).next()) %
+      ring_size_;
+  *autn = replay_ring_[idx];
+  ++stats_.downlink_replayed;
+  note(Point::kReplayDownlink);
+  return true;
+}
+
+bool ChaosEngine::unsolicited_downlink(std::array<std::uint8_t, 16>* autn) {
+  if (!roll(Point::kUnsolicitedDownlink, config_.unsolicited_downlink)) {
+    return false;
+  }
+  sim::Rng& s = stream(Point::kUnsolicitedDownlink);
+  for (std::size_t i = 0; i < autn->size(); i += 8) {
+    const std::uint64_t word = s.next();
+    for (std::size_t b = 0; b < 8 && i + b < autn->size(); ++b) {
+      (*autn)[i + b] = static_cast<std::uint8_t>(word >> (8 * b));
+    }
+  }
+  ++stats_.unsolicited_injected;
+  note(Point::kUnsolicitedDownlink);
   return true;
 }
 

@@ -19,7 +19,9 @@
 #include <cstddef>
 #include <cstdint>
 #include <string_view>
+#include <vector>
 
+#include "common/bytes.h"
 #include "simcore/rng.h"
 #include "simcore/time.h"
 
@@ -54,10 +56,22 @@ struct ChaosConfig {
   /// legacy handling).
   int applet_max_crashes = 3;
 
+  // ----- semantic (protocol-aware) adversarial injection
+  // Field-aware mutations in the 5Greplay style: instead of flipping a
+  // random bit, these forge plausible-but-wrong header fields so the
+  // *decoders* — not the integrity check alone — must hold the line.
+  double semantic_downlink = 0.0;     // mutate an AUTN covert fragment
+  double semantic_uplink = 0.0;       // mutate a DIAG-DNN report fragment
+  double replay_downlink = 0.0;       // re-deliver a stale captured fragment
+  double unsolicited_downlink = 0.0;  // fabricate a pre-security-context
+                                      // downlink with no matching transfer
+
   bool any() const {
     if (downlink_drop > 0 || downlink_dup > 0 || downlink_corrupt > 0 ||
         uplink_drop > 0 || uplink_dup > 0 || uplink_corrupt > 0 ||
-        at_fail > 0 || at_timeout > 0 || applet_crash > 0) {
+        at_fail > 0 || at_timeout > 0 || applet_crash > 0 ||
+        semantic_downlink > 0 || semantic_uplink > 0 || replay_downlink > 0 ||
+        unsolicited_downlink > 0) {
       return true;
     }
     for (double p : action_fail) {
@@ -78,10 +92,42 @@ enum class Point : std::uint8_t {
   kUplinkCorrupt,
   kResetOutcome,
   kAppletCrash,
+  kSemanticDownlink,
+  kSemanticUplink,
+  kReplayDownlink,
+  kUnsolicitedDownlink,
   kCount,
 };
 
 std::string_view point_name(Point p);
+
+/// Field-aware mutation shapes shared by the downlink (AUTN fragment)
+/// and uplink (DIAG-DNN fragment) mutators. Each targets a specific
+/// header field the decoders must validate, not a random bit.
+enum class SemanticMutation : std::uint8_t {
+  kTypeConfusion = 0,   // sequence nibble flipped: frame claims to be a
+                        // different fragment than the transfer expects
+  kTruncatedLength,     // declared total length below the fragment-count
+                        // minimum (frame "ends" before its own fragments)
+  kOversizedLength,     // declared total length beyond any legal frame
+  kZeroFragCount,       // fragment-count nibble zeroed (total = 0)
+  kInflatedFragCount,   // fragment-count nibble maxed (total = 15)
+  kCount,
+};
+
+std::string_view semantic_mutation_name(SemanticMutation m);
+
+/// Applies `m` in place to a 16-byte AUTN covert fragment
+/// (byte0 = seq<<4|total, byte1 = declared frame length on fragment 0).
+/// No-op when `len < 2`.
+void apply_semantic_autn(SemanticMutation m, std::uint8_t* autn,
+                         std::size_t len);
+
+/// Applies `m` in place to a DIAG-DNN label set (label 0 = "DIAG" +
+/// header byte). kTruncatedLength drops the last payload label; the
+/// others rewrite the header label. No-op when the labels do not look
+/// like a DIAG header (first label shorter than 5 bytes).
+void apply_semantic_dnn(SemanticMutation m, std::vector<Bytes>& labels);
 
 struct ChaosStats {
   std::uint64_t downlink_dropped = 0;
@@ -93,10 +139,16 @@ struct ChaosStats {
   std::uint64_t resets_failed = 0;
   std::uint64_t resets_timed_out = 0;
   std::uint64_t applet_crashes = 0;
+  std::uint64_t downlink_mutated = 0;
+  std::uint64_t uplink_mutated = 0;
+  std::uint64_t downlink_replayed = 0;
+  std::uint64_t unsolicited_injected = 0;
   std::uint64_t total() const {
     return downlink_dropped + downlink_duplicated + downlink_corrupted +
            uplink_dropped + uplink_duplicated + uplink_corrupted +
-           resets_failed + resets_timed_out + applet_crashes;
+           resets_failed + resets_timed_out + applet_crashes +
+           downlink_mutated + uplink_mutated + downlink_replayed +
+           unsolicited_injected;
   }
 };
 
@@ -135,6 +187,22 @@ class ChaosEngine {
   // ----- applet
   bool crash_applet();
 
+  // ----- semantic adversarial injection
+  /// Picks a field-aware mutation for the outbound AUTN fragment.
+  bool mutate_downlink(SemanticMutation* m);
+  /// Picks a field-aware mutation for the outbound DIAG-DNN fragment.
+  bool mutate_uplink(SemanticMutation* m);
+  /// Records a delivered downlink fragment into the stale-replay ring.
+  /// Draws no RNG and is a no-op unless replay_downlink > 0, so capture
+  /// never perturbs other streams.
+  void capture_downlink(const std::uint8_t* autn, std::size_t len);
+  /// Re-emits a previously captured (now stale) fragment, if the roll
+  /// fires and the ring holds at least one capture.
+  bool replay_stale_downlink(std::array<std::uint8_t, 16>* autn);
+  /// Fabricates an unsolicited pre-security-context AUTN payload with
+  /// no matching transfer behind it.
+  bool unsolicited_downlink(std::array<std::uint8_t, 16>* autn);
+
  private:
   /// Bernoulli draw from the point's private stream; never draws when
   /// `p <= 0`, so disabled impairments consume nothing.
@@ -148,6 +216,11 @@ class ChaosEngine {
   std::uint64_t seed_;
   std::array<sim::Rng, static_cast<std::size_t>(Point::kCount)> streams_;
   ChaosStats stats_;
+  // Stale-fragment replay ring: the most recent downlink captures, oldest
+  // overwritten first. Fixed-size so a long run cannot grow it.
+  std::array<std::array<std::uint8_t, 16>, 8> replay_ring_{};
+  std::size_t ring_size_ = 0;
+  std::size_t ring_next_ = 0;
 };
 
 }  // namespace seed::chaos

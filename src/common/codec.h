@@ -109,12 +109,16 @@ class Reader {
   bool ok() const { return !failed_; }
   /// Marks the reader failed explicitly (semantic validation errors).
   void fail() { failed_ = true; }
+  /// True when the *first* failure was an out-of-bounds read (input
+  /// truncated), as opposed to an explicit fail() on a bad field value.
+  bool truncated() const { return truncated_; }
   /// True when the reader is ok() and fully consumed.
   bool done() const { return ok() && remaining() == 0; }
 
  private:
   bool has(std::size_t n) {
     if (failed_ || data_.size() - pos_ < n) {
+      if (!failed_) truncated_ = true;
       failed_ = true;
       return false;
     }
@@ -124,6 +128,7 @@ class Reader {
   BytesView data_;
   std::size_t pos_ = 0;
   bool failed_ = false;
+  bool truncated_ = false;
 };
 
 }  // namespace seed

@@ -1,5 +1,7 @@
 #include "corenet/core_network.h"
 
+#include <algorithm>
+
 #include "common/codec.h"
 #include "common/params.h"
 #include "obs/prof.h"
@@ -114,10 +116,23 @@ void CoreNetwork::on_uplink(UeId id, BytesView wire) {
   ++stats_.nas_rx;
   ++ue.stats.nas_rx;
   cpu_.charge("nas_rx", 0.0002);
-  const auto msg = nas::decode_message(wire);
+  nas::DecodeError err;
+  const auto msg = nas::decode_message(wire, &err);
   if (!msg) {
-    SLOG(kWarn, "core") << "undecodable NAS message (" << wire.size()
+    ++stats_.decode_rejects;
+    ++ue.stats.decode_rejects;
+    obs::emit_decode_rejected(obs::Origin::kInfra,
+                              static_cast<std::uint8_t>(err));
+    auto& reg = obs::Registry::instance();
+    if (reg.enabled()) {
+      reg.counter(obs::label_series("core.decode_reject", "reason",
+                                    nas::decode_error_name(err)))
+          .inc();
+    }
+    SLOG(kWarn, "core") << "undecodable NAS message ("
+                        << nas::decode_error_name(err) << ", " << wire.size()
                         << " bytes)";
+    note_malformed(ue, "undecodable NAS message");
     return;
   }
   std::visit(
@@ -151,6 +166,50 @@ void CoreNetwork::on_uplink(UeId id, BytesView wire) {
         }
       },
       *msg);
+}
+
+// ------------------------------------------------- quarantine / penalty box
+
+namespace {
+/// Every third semantic reject from the same peer earns a strike.
+constexpr std::uint64_t kMalformedStrikeThreshold = 3;
+/// First strike mutes for 10 s; each further strike doubles the window,
+/// capped at base << 6 = 640 s (graceful: the peer always gets another
+/// chance, but a persistent abuser spends most of its time muted).
+constexpr std::int64_t kMuteBaseSeconds = 10;
+constexpr std::uint32_t kMuteShiftCap = 6;
+}  // namespace
+
+bool CoreNetwork::quarantined(const UeContext& ue) const {
+  return sim_.now() < ue.muted_until;
+}
+
+bool CoreNetwork::peer_quarantined(UeId ue) const {
+  return quarantined(context(ue));
+}
+
+void CoreNetwork::note_malformed(UeContext& ue, const char* what) {
+  ++stats_.malformed_rx;
+  ++ue.stats.malformed_rx;
+  ++ue.malformed_count;
+  auto& reg = obs::Registry::instance();
+  if (reg.enabled()) {
+    reg.counter(obs::ue_series("core.malformed", ue.id)).inc();
+  }
+  if (ue.malformed_count % kMalformedStrikeThreshold != 0) return;
+  ++ue.malformed_strikes;
+  const std::uint32_t shift =
+      std::min(ue.malformed_strikes - 1, kMuteShiftCap);
+  const auto mute = sim::seconds(kMuteBaseSeconds << shift);
+  ue.muted_until = sim_.now() + mute;
+  obs::emit_peer_quarantined(static_cast<std::uint8_t>(
+      std::min<std::uint32_t>(ue.malformed_strikes, 255)));
+  if (reg.enabled()) {
+    reg.counter(obs::ue_series("core.quarantined", ue.id)).inc();
+  }
+  SLOG(kWarn, "core") << "UE " << ue.id << " quarantined (" << what
+                      << ", strike " << ue.malformed_strikes << ", muted "
+                      << sim::to_seconds(mute) << "s)";
 }
 
 // ------------------------------------------------------------- registration
@@ -372,6 +431,17 @@ void CoreNetwork::handle_pdu_request(
       reject_pdu(ue, m.hdr, sm(SmCause::kMissingOrUnknownDnn));
       return;
     }
+    if (quarantined(ue)) {
+      // Penalty box: drop silently — no reject ACK. The muted peer's
+      // report ack-guard expires, its retries exhaust, and the applet
+      // falls back to the local plan (graceful degradation, DESIGN.md).
+      ++stats_.quarantine_drops;
+      ++ue.stats.quarantine_drops;
+      if (obs::Registry::instance().enabled()) {
+        obs::count(obs::ue_series("core.quarantine_drops", ue.id));
+      }
+      return;
+    }
     const auto frame = ue.report_reassembler.feed_view(m.dnn);
     if (frame) {
       if (ue.seed_ctx->unprotect_into(*frame, crypto::Direction::kUplink,
@@ -381,10 +451,22 @@ void CoreNetwork::handle_pdu_request(
           ++stats_.diag_reports_rx;
           ++ue.stats.diag_reports_rx;
           cpu_.charge("diagnosis", params::kCoreCostPerDiagnosis);
+          ue.last_report_frame.assign(frame->begin(), frame->end());
           handle_diag_report(ue, *report, m.hdr);
           return;
         }
+        note_malformed(ue, "undecodable failure report");
+      } else if (frame->size() == ue.last_report_frame.size() &&
+                 std::equal(frame->begin(), frame->end(),
+                            ue.last_report_frame.begin())) {
+        // Exact replay of the last accepted frame: a retransmit whose
+        // ACK was lost. The reject-ACK below re-acknowledges it; no
+        // strike for the benign peer.
+      } else {
+        note_malformed(ue, "integrity-failed report frame");
       }
+    } else if (ue.report_reassembler.last_rejected()) {
+      note_malformed(ue, "malformed DIAG fragment");
     }
     // Mid-fragment or bad frame: ACK with a reject either way (Fig. 7b).
     reject_pdu(ue, m.hdr, sm(SmCause::kRequestRejectedUnspecified));
@@ -644,6 +726,17 @@ std::optional<proto::ConfigPayload> CoreNetwork::config_for(
 
 void CoreNetwork::assist(UeContext& ue, const core::FailureEvent& event) {
   if (!seed_enabled_ || !ue.seed_ctx) return;
+  if (quarantined(ue)) {
+    // No assistance for a muted peer; its legacy retry machinery (and the
+    // applet's local plan) still runs, so connectivity recovery degrades
+    // gracefully instead of stalling.
+    ++stats_.quarantine_drops;
+    ++ue.stats.quarantine_drops;
+    if (obs::Registry::instance().enabled()) {
+      obs::count(obs::ue_series("core.quarantine_drops", ue.id));
+    }
+    return;
+  }
   cpu_.charge("diagnosis", params::kCoreCostPerDiagnosis);
   // Explicit cache invalidation on subscriber/config mutation: the db's
   // epoch moves on every provisioning change, and stale entries must not
@@ -744,6 +837,19 @@ void CoreNetwork::on_frag_guard(UeContext& ue) {
 void CoreNetwork::handle_diag_report(UeContext& ue,
                                      const proto::FailureReport& report,
                                      const nas::SmHeader& hdr) {
+  if (!ue.registered) {
+    // Learning-path guard: an integrity-valid report from a peer with no
+    // authenticated NAS context never influences policy repair or the
+    // shared learner. Dropped silently — no ACK for pre-security-context
+    // covert traffic.
+    ++stats_.suspect_reports_dropped;
+    ++ue.stats.suspect_reports_dropped;
+    obs::emit_suspect_report_dropped();
+    if (obs::Registry::instance().enabled()) {
+      obs::count(obs::ue_series("core.suspect_dropped", ue.id));
+    }
+    return;
+  }
   SLOG(kDebug, "core") << "uplink diagnosis report received (type "
                        << int(static_cast<std::uint8_t>(report.type)) << ")";
   obs::count("seed.reports_rx");
@@ -814,7 +920,19 @@ void CoreNetwork::handle_diag_report(UeContext& ue,
 }
 
 void CoreNetwork::upload_sim_records(
-    const std::vector<core::SimRecordStore::Entry>& e) {
+    UeId id, const std::vector<core::SimRecordStore::Entry>& e) {
+  UeContext& ue = context(id);
+  if (!ue.registered || quarantined(ue)) {
+    // Learning-path guard: OTA record uploads from an unregistered or
+    // quarantined peer never reach the shared NetRecord.
+    ++stats_.suspect_reports_dropped;
+    ++ue.stats.suspect_reports_dropped;
+    obs::emit_suspect_report_dropped();
+    if (obs::Registry::instance().enabled()) {
+      obs::count(obs::ue_series("core.suspect_dropped", ue.id));
+    }
+    return;
+  }
   if (learner_ != nullptr) learner_->absorb(e);
 }
 

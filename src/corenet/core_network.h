@@ -113,6 +113,11 @@ struct CoreStats {
   std::uint64_t diag_reports_rx = 0;    // SEED uplink reports parsed
   std::uint64_t auth_vectors = 0;
   std::uint64_t fast_dplane_resets = 0;
+  // ----- adversarial-traffic accounting (decoder hardening + quarantine)
+  std::uint64_t decode_rejects = 0;     // NAS wire bytes the decoder refused
+  std::uint64_t malformed_rx = 0;       // semantic rejects past the decoder
+  std::uint64_t quarantine_drops = 0;   // messages dropped while muted
+  std::uint64_t suspect_reports_dropped = 0;  // learning-path rejections
 };
 
 /// Per-UE slice of the same counters (isolation tests, fleet benches).
@@ -122,6 +127,10 @@ struct UeStats {
   std::uint64_t rejects_sent = 0;
   std::uint64_t diag_downlinks = 0;
   std::uint64_t diag_reports_rx = 0;
+  std::uint64_t decode_rejects = 0;
+  std::uint64_t malformed_rx = 0;
+  std::uint64_t quarantine_drops = 0;
+  std::uint64_t suspect_reports_dropped = 0;
 };
 
 class CoreNetwork {
@@ -211,7 +220,16 @@ class CoreNetwork {
   }
 
   // ----- SIM record upload (online learning OTA path, Algorithm 1 l.6)
-  void upload_sim_records(const std::vector<core::SimRecordStore::Entry>& e);
+  /// UeId-aware form: records from an unregistered or quarantined peer
+  /// never reach the shared learner (they are counted as suspect instead).
+  void upload_sim_records(UeId ue,
+                          const std::vector<core::SimRecordStore::Entry>& e);
+  void upload_sim_records(const std::vector<core::SimRecordStore::Entry>& e) {
+    upload_sim_records(kPrimary, e);
+  }
+
+  /// True while the UE sits in the malformed-traffic penalty box.
+  bool peer_quarantined(UeId ue) const;
 
   // ----- stats
   const CoreStats& stats() const { return stats_; }
@@ -260,11 +278,24 @@ class CoreNetwork {
     sim::TimePoint diag_prep_start{};
     sim::TimePoint diag_send_start{};
     proto::DiagDnnCodec::Reassembler report_reassembler;
+    /// Bytes of the last successfully processed report frame: an exact
+    /// replay (retransmit after a lost ACK) fails the integrity check
+    /// benignly and must not count as malformed.
+    Bytes last_report_frame;
     sim::Timer frag_guard;  // armed only when a chaos engine is attached
 
     // UPF / faults
     Faults faults;
     TrafficPolicy effective_policy;
+
+    // Malformed-traffic penalty box (§ threat model in DESIGN.md): every
+    // kMalformedStrikeThreshold semantic rejects earn a strike, each
+    // strike doubles the mute window. A muted peer's covert-channel
+    // traffic is dropped silently, so its modem-side ack guards expire
+    // and the applet degrades to the local plan.
+    std::uint64_t malformed_count = 0;
+    std::uint32_t malformed_strikes = 0;
+    sim::TimePoint muted_until{};
 
     UeStats stats;
   };
@@ -289,6 +320,10 @@ class CoreNetwork {
   void on_frag_guard(UeContext& ue);
   void handle_diag_report(UeContext& ue, const proto::FailureReport& report,
                           const nas::SmHeader& hdr);
+
+  // quarantine / penalty box
+  bool quarantined(const UeContext& ue) const;
+  void note_malformed(UeContext& ue, const char* what);
 
   // helpers
   void send(UeContext& ue, const nas::NasMessage& msg);

@@ -45,8 +45,9 @@ Device::Device(sim::Simulator& sim, sim::Rng& rng, ran::Gnb& gnb,
   applet_->set_modem_control(modem_.get());
   applet_->set_recovery_probe([this] { return traffic_->path_healthy(); });
   applet_->set_record_uploader(
-      [core = &core](const std::vector<core::SimRecordStore::Entry>& e) {
-        core->upload_sim_records(e);
+      [core = &core,
+       id = ue_id_](const std::vector<core::SimRecordStore::Entry>& e) {
+        core->upload_sim_records(id, e);
       });
   applet_->set_user_notifier([this](std::string cause) {
     ++user_notifications_;

@@ -336,8 +336,23 @@ void Modem::handle_auth_request(const nas::AuthenticationRequest& m) {
       eff.autn[flip.byte % eff.autn.size()] ^=
           static_cast<std::uint8_t>(1u << flip.bit);
     }
+    // Semantic adversary: forge a plausible-but-wrong fragment header
+    // (the reassembler, not just the MAC check, must reject it).
+    chaos::SemanticMutation mut;
+    if (chaos_->mutate_downlink(&mut)) {
+      chaos::apply_semantic_autn(mut, eff.autn.data(), eff.autn.size());
+    }
+    chaos_->capture_downlink(eff.autn.data(), eff.autn.size());
     deliver_auth(eff);
     if (chaos_->duplicate_downlink()) deliver_auth(eff);
+    // Stale-fragment replay: re-deliver a fragment captured earlier in
+    // the run, as a recorded-and-replayed downlink would arrive.
+    std::array<std::uint8_t, 16> stale;
+    if (chaos_->replay_stale_downlink(&stale)) {
+      nas::AuthenticationRequest replayed = m;
+      replayed.autn = stale;
+      deliver_auth(replayed);
+    }
     return;
   }
   deliver_auth(m);
@@ -527,8 +542,35 @@ void Modem::release_session(std::uint8_t psi, std::function<void()> done) {
 // ---------------------------------------------------------------- downlink
 
 void Modem::on_downlink(BytesView wire) {
-  const auto msg = nas::decode_message(wire);
-  if (!msg) return;
+  if (chaos_ != nullptr) {
+    // Unsolicited pre-security-context injection: a forged DFlag Auth
+    // Request with no transfer behind it, delivered ahead of the real
+    // downlink. The SIM applet must discard it without wedging.
+    std::array<std::uint8_t, 16> forged;
+    if (chaos_->unsolicited_downlink(&forged)) {
+      nas::AuthenticationRequest fake;
+      fake.rand = proto::kDFlag;
+      fake.autn = forged;
+      deliver_auth(fake);
+    }
+  }
+  nas::DecodeError err;
+  const auto msg = nas::decode_message(wire, &err);
+  if (!msg) {
+    ++stats_.decode_rejects;
+    obs::emit_decode_rejected(obs::Origin::kModem,
+                              static_cast<std::uint8_t>(err));
+    obs::Registry& reg = obs::Registry::instance();
+    if (reg.enabled()) {
+      reg.counter(obs::label_series("modem.decode_reject", "reason",
+                                    nas::decode_error_name(err)))
+          .inc();
+    }
+    SLOG(kWarn, "modem") << "dropping undecodable downlink ("
+                         << nas::decode_error_name(err) << ", "
+                         << wire.size() << " bytes)";
+    return;
+  }
   SLOG(kDebug, "modem") << "<- " << nas::msg_type_name(nas::message_type(*msg));
   std::visit(
       [this](const auto& m) {
@@ -787,6 +829,14 @@ void Modem::transmit_report_fragment(std::size_t idx) {
     chaos::BitFlip flip;
     if (chaos_->corrupt_uplink(&flip)) {
       req.dnn = corrupt_diag_dnn(req.dnn, flip);
+    }
+    // Semantic adversary: rewrite the DIAG header label (fragment count /
+    // sequence / framing) instead of flipping payload bits.
+    chaos::SemanticMutation mut;
+    if (chaos_->mutate_uplink(&mut)) {
+      std::vector<Bytes> labels = req.dnn.labels();
+      chaos::apply_semantic_dnn(mut, labels);
+      req.dnn = nas::Dnn::from_labels(std::move(labels));
     }
     duplicate = chaos_->duplicate_uplink();
   }

@@ -54,6 +54,9 @@ struct ModemStats {
   std::uint64_t full_plmn_searches = 0;
   std::uint64_t at_commands = 0;
   std::uint64_t profile_reloads = 0;
+  /// Downlink wire bytes the NAS decoder refused (per-reason breakdown
+  /// lives in the metrics registry under "modem.decode_reject").
+  std::uint64_t decode_rejects = 0;
 };
 
 class Modem : public ModemControl {

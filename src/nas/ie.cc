@@ -227,11 +227,18 @@ void Dnn::encode(Writer& w) const {
 std::optional<Dnn> Dnn::decode(Reader& r) {
   const BytesView body = r.lv8();
   if (!r.ok()) return std::nullopt;
+  // The outer lv8 admits up to 255 bytes but a DNN is capped at
+  // kMaxWireSize on the encode side; accepting more here would let a
+  // forged IE smuggle oversized label sets past every later bound.
+  if (body.size() > kMaxWireSize) {
+    r.fail();
+    return std::nullopt;
+  }
   Reader inner(body);
   std::vector<Bytes> labels;
   while (inner.remaining() > 0) {
     const BytesView label = inner.lv8();
-    if (!inner.ok()) {
+    if (!inner.ok() || label.empty()) {
       r.fail();
       return std::nullopt;
     }

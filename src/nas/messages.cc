@@ -604,22 +604,72 @@ BytesView encode_message_into(const NasMessage& msg, Bytes& scratch) {
   return scratch;
 }
 
+std::string_view decode_error_name(DecodeError e) {
+  switch (e) {
+    case DecodeError::kNone: return "none";
+    case DecodeError::kTruncated: return "truncated";
+    case DecodeError::kBadProtocol: return "bad-protocol";
+    case DecodeError::kBadSecurityHeader: return "bad-security-header";
+    case DecodeError::kUnknownType: return "unknown-type";
+    case DecodeError::kBadFieldValue: return "bad-field-value";
+    case DecodeError::kTrailingBytes: return "trailing-bytes";
+  }
+  return "invalid";
+}
+
 std::optional<NasMessage> decode_message(BytesView data) {
+  DecodeError err;
+  return decode_message(data, &err);
+}
+
+std::optional<NasMessage> decode_message(BytesView data, DecodeError* err) {
   PROF_ZONE("nas.decode");
   PROF_BYTES(data.size());
+  *err = DecodeError::kNone;
   Reader r(data);
   const std::uint8_t epd = r.u8();
-  if (!r.ok()) return std::nullopt;
+  if (!r.ok()) {
+    *err = DecodeError::kTruncated;
+    return std::nullopt;
+  }
 
-  auto wrap = [](auto&& opt) -> std::optional<NasMessage> {
-    if (!opt) return std::nullopt;
+  // Classifies a body decoder's nullopt from the reader state: the first
+  // failure being an out-of-bounds read means truncated input; a clean
+  // reader with leftover bytes means trailing garbage; anything else is
+  // a field that decoded but held an invalid value.
+  auto wrap = [err, &r](auto&& opt) -> std::optional<NasMessage> {
+    if (!opt) {
+      if (!r.ok()) {
+        *err = r.truncated() ? DecodeError::kTruncated
+                             : DecodeError::kBadFieldValue;
+      } else if (!r.done()) {
+        *err = DecodeError::kTrailingBytes;
+      } else {
+        *err = DecodeError::kBadFieldValue;
+      }
+      return std::nullopt;
+    }
     return NasMessage(*opt);
+  };
+  // Empty-body messages: anything after the header is trailing garbage.
+  auto empty_body = [err, &r](auto msg) -> std::optional<NasMessage> {
+    if (r.done()) return NasMessage(msg);
+    *err = r.truncated() ? DecodeError::kTruncated
+                         : DecodeError::kTrailingBytes;
+    return std::nullopt;
   };
 
   if (epd == kEpd5gmm) {
     const std::uint8_t sec = r.u8();
     const std::uint8_t type = r.u8();
-    if (!r.ok() || sec != 0) return std::nullopt;
+    if (!r.ok()) {
+      *err = DecodeError::kTruncated;
+      return std::nullopt;
+    }
+    if (sec != 0) {
+      *err = DecodeError::kBadSecurityHeader;
+      return std::nullopt;
+    }
     switch (static_cast<MsgType>(type)) {
       case MsgType::kRegistrationRequest:
         return wrap(decode_registration_request(r));
@@ -632,8 +682,7 @@ std::optional<NasMessage> decode_message(BytesView data) {
       case MsgType::kServiceRequest:
         return wrap(decode_service_request(r));
       case MsgType::kServiceAccept:
-        return r.done() ? std::optional<NasMessage>(ServiceAccept{})
-                        : std::nullopt;
+        return empty_body(ServiceAccept{});
       case MsgType::kServiceReject:
         return wrap(decode_service_reject(r));
       case MsgType::kAuthenticationRequest:
@@ -641,18 +690,17 @@ std::optional<NasMessage> decode_message(BytesView data) {
       case MsgType::kAuthenticationResponse:
         return wrap(decode_authentication_response(r));
       case MsgType::kAuthenticationReject:
-        return r.done() ? std::optional<NasMessage>(AuthenticationReject{})
-                        : std::nullopt;
+        return empty_body(AuthenticationReject{});
       case MsgType::kAuthenticationFailure:
         return wrap(decode_authentication_failure(r));
       case MsgType::kSecurityModeCommand:
         return wrap(decode_security_mode_command(r));
       case MsgType::kSecurityModeComplete:
-        return r.done() ? std::optional<NasMessage>(SecurityModeComplete{})
-                        : std::nullopt;
+        return empty_body(SecurityModeComplete{});
       case MsgType::kConfigurationUpdateCommand:
         return wrap(decode_configuration_update(r));
       default:
+        *err = DecodeError::kUnknownType;
         return std::nullopt;
     }
   }
@@ -662,7 +710,10 @@ std::optional<NasMessage> decode_message(BytesView data) {
     hdr.pdu_session_id = r.u8();
     hdr.pti = r.u8();
     const std::uint8_t type = r.u8();
-    if (!r.ok()) return std::nullopt;
+    if (!r.ok()) {
+      *err = DecodeError::kTruncated;
+      return std::nullopt;
+    }
     switch (static_cast<MsgType>(type)) {
       case MsgType::kPduSessionEstablishmentRequest:
         return wrap(decode_pdu_estb_request(r, hdr));
@@ -677,20 +728,18 @@ std::optional<NasMessage> decode_message(BytesView data) {
       case MsgType::kPduSessionModificationCommand:
         return wrap(decode_pdu_mod_command(r, hdr));
       case MsgType::kPduSessionReleaseRequest:
-        return r.done() ? std::optional<NasMessage>(
-                              PduSessionReleaseRequest{hdr})
-                        : std::nullopt;
+        return empty_body(PduSessionReleaseRequest{hdr});
       case MsgType::kPduSessionReleaseCommand:
         return wrap(decode_pdu_release_command(r, hdr));
       case MsgType::kPduSessionReleaseComplete:
-        return r.done() ? std::optional<NasMessage>(
-                              PduSessionReleaseComplete{hdr})
-                        : std::nullopt;
+        return empty_body(PduSessionReleaseComplete{hdr});
       default:
+        *err = DecodeError::kUnknownType;
         return std::nullopt;
     }
   }
 
+  *err = DecodeError::kBadProtocol;
   return std::nullopt;
 }
 

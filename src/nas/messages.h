@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <variant>
 #include <vector>
 
@@ -210,9 +211,28 @@ Bytes encode_message(const NasMessage& msg);
 /// the scratch capacity has warmed up to the largest message seen.
 BytesView encode_message_into(const NasMessage& msg, Bytes& scratch);
 
+/// Why a decode rejected its input. kNone means the decode succeeded;
+/// every nullopt return maps to exactly one non-kNone reason, so callers
+/// can account for rejects without re-parsing.
+enum class DecodeError : std::uint8_t {
+  kNone = 0,
+  kTruncated,          // input ended before a required field
+  kBadProtocol,        // unknown extended protocol discriminator
+  kBadSecurityHeader,  // 5GMM security header type not plain
+  kUnknownType,        // message type octet not one we speak
+  kBadFieldValue,      // a field decoded but held an invalid value
+  kTrailingBytes,      // valid message followed by trailing garbage
+};
+
+std::string_view decode_error_name(DecodeError e);
+
 /// Parses wire bytes; nullopt on any malformed input (wrong EPD, unknown
 /// type, truncated body, trailing garbage, invalid field values).
 std::optional<NasMessage> decode_message(BytesView data);
+
+/// Same parse, but reports the reject reason through `err` (set to
+/// kNone on success). Never leaves `err` unset.
+std::optional<NasMessage> decode_message(BytesView data, DecodeError* err);
 
 /// Message type of an in-memory message (for logging/stats).
 MsgType message_type(const NasMessage& msg);

@@ -13,14 +13,15 @@
 namespace seed::obs {
 namespace {
 
-constexpr std::array<std::string_view, 19> kKindNames = {
+constexpr std::array<std::string_view, 22> kKindNames = {
     "failure_injected", "failure_detected",   "diagnosis_made",
     "reset_issued",     "reset_completed",    "recovered",
     "collab_downlink",  "collab_uplink",      "conflict_suppressed",
     "rate_limited",     "log",                "chaos_injected",
     "action_retry",     "tier_escalated",     "watchdog_fired",
     "degraded",         "cache_lookup",       "terminal_failure",
-    "slo_alert",
+    "slo_alert",        "decode_rejected",    "peer_quarantined",
+    "suspect_report_dropped",
 };
 
 constexpr std::array<std::string_view, 6> kOriginNames = {
@@ -510,6 +511,11 @@ std::vector<SpanSummary> Tracer::assemble(std::vector<Event> events) {
         break;
       case EventKind::kTerminalFailure: ++s.terminal_failures; break;
       case EventKind::kSloAlert: ++s.slo_alerts; break;
+      case EventKind::kDecodeRejected: ++s.decode_rejects; break;
+      case EventKind::kPeerQuarantined: ++s.peer_quarantines; break;
+      case EventKind::kSuspectReportDropped:
+        ++s.suspect_reports_dropped;
+        break;
       case EventKind::kLog: break;
     }
   }
@@ -566,6 +572,11 @@ void Tracer::print_summary(std::ostream& os,
       os << "  cache=" << s.cache_hits << "/" << s.cache_lookups;
     }
     if (s.terminal_failures) os << "  terminal=" << s.terminal_failures;
+    if (s.decode_rejects) os << "  decode_rejects=" << s.decode_rejects;
+    if (s.peer_quarantines) os << "  quarantined=" << s.peer_quarantines;
+    if (s.suspect_reports_dropped) {
+      os << "  suspect_dropped=" << s.suspect_reports_dropped;
+    }
     os << "\n";
   }
 }

@@ -54,6 +54,11 @@ enum class EventKind : std::uint8_t {
   kCacheLookup,      // Fig. 8 diagnosis-cache lookup (ok = hit)
   kTerminalFailure,  // escalation ladder / watchdog hit a terminal state
   kSloAlert,         // health-engine SLO alert transition (detail = payload)
+  // Adversarial-hardening events (appended, same stability rule).
+  kDecodeRejected,   // a decoder refused input (cause = nas::DecodeError)
+  kPeerQuarantined,  // a peer entered/extended its mute window
+                     // (cause = strike count)
+  kSuspectReportDropped,  // learning-path update rejected as untrusted
 };
 
 /// Which vantage point emitted the event (the same failure is seen by the
@@ -145,6 +150,9 @@ struct SpanSummary {
   std::uint64_t cache_hits = 0;
   std::uint64_t terminal_failures = 0;
   std::uint64_t slo_alerts = 0;
+  std::uint64_t decode_rejects = 0;
+  std::uint64_t peer_quarantines = 0;
+  std::uint64_t suspect_reports_dropped = 0;
 
   std::optional<double> detect_ms() const { return delta(detected_us); }
   std::optional<double> diagnose_ms() const { return delta(diagnosed_us); }
@@ -511,6 +519,43 @@ inline void emit_terminal_failure(Origin origin, std::string_view reason,
   e.plane = plane;
   e.cause = cause;
   e.detail = std::string(reason);
+  t.record_now(std::move(e));
+}
+
+/// A decoder refused input. The nas::DecodeError code rides in `cause`
+/// (obs stays below nas in the dep graph, the same numeric-code pattern
+/// as reset actions and chaos points).
+inline void emit_decode_rejected(Origin origin, std::uint8_t reason) {
+  Tracer& t = Tracer::instance();
+  if (!t.enabled()) return;
+  Event e;
+  e.kind = EventKind::kDecodeRejected;
+  e.origin = origin;
+  e.cause = reason;
+  t.record_now(std::move(e));
+}
+
+/// A peer entered (or extended) its penalty-box mute window after
+/// repeated malformed traffic; `strikes` rides in `cause`.
+inline void emit_peer_quarantined(std::uint8_t strikes,
+                                  Origin origin = Origin::kInfra) {
+  Tracer& t = Tracer::instance();
+  if (!t.enabled()) return;
+  Event e;
+  e.kind = EventKind::kPeerQuarantined;
+  e.origin = origin;
+  e.cause = strikes;
+  t.record_now(std::move(e));
+}
+
+/// A learning-path update (DiagnosisCache / NetRecord) was rejected
+/// because its report failed integrity or came from an untrusted peer.
+inline void emit_suspect_report_dropped(Origin origin = Origin::kInfra) {
+  Tracer& t = Tracer::instance();
+  if (!t.enabled()) return;
+  Event e;
+  e.kind = EventKind::kSuspectReportDropped;
+  e.origin = origin;
   t.record_now(std::move(e));
 }
 

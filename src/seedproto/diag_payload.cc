@@ -92,13 +92,14 @@ std::optional<DiagInfo> DiagInfo::decode(BytesView data) {
 //   fragment k>0: bytes 1.. payload
 namespace {
 
+constexpr std::size_t kFirstPayload = 14;
+constexpr std::size_t kRestPayload = 15;
+
 // Unzoned fragmentation core: both public wrappers open the
 // "seedproto.fragment" zone exactly once (the profiler counts a call per
 // begin(), even reentrant), then delegate here.
 void fragment_core(BytesView frame,
                    std::vector<std::array<std::uint8_t, 16>>& out) {
-  constexpr std::size_t kFirstPayload = 14;
-  constexpr std::size_t kRestPayload = 15;
   if (frame.size() > kFirstPayload + 14 * kRestPayload) {
     throw std::length_error("AutnCodec: frame too large for 15 fragments");
   }
@@ -146,6 +147,7 @@ void AutnCodec::Reassembler::reset() {
   expected_total_ = 0;
   received_ = 0;
   last_len_ = 0;
+  last_completed_total_ = 0;
 }
 
 std::optional<Bytes> AutnCodec::Reassembler::feed(
@@ -155,20 +157,30 @@ std::optional<Bytes> AutnCodec::Reassembler::feed(
   return Bytes(view->begin(), view->end());
 }
 
+std::optional<BytesView> AutnCodec::Reassembler::reject() {
+  reset();
+  last_rejected_ = true;
+  return std::nullopt;
+}
+
 std::optional<BytesView> AutnCodec::Reassembler::feed_view(
     const std::array<std::uint8_t, 16>& autn) {
   PROF_ZONE("seedproto.reassemble");
   PROF_BYTES(autn.size());
+  last_rejected_ = false;
   const std::uint8_t seq = autn[0] >> 4;
   const std::uint8_t total = autn[0] & 0x0f;
-  if (total == 0 || seq >= total) {
-    reset();
-    return std::nullopt;
-  }
+  if (total == 0 || seq >= total) return reject();
   if (received_ == 0) {
     if (seq != 0) {
-      reset();
-      return std::nullopt;
+      if (total == last_completed_total_ && seq == total - 1) {
+        // Retransmit of the final fragment of the transfer that just
+        // completed (its ACK was lost in flight): a benign duplicate,
+        // not a malformed fragment. The completed frame's view stays
+        // untouched.
+        return std::nullopt;
+      }
+      return reject();
     }
     // Lazily drop the previous transfer's bytes (kept alive so the view
     // returned at its completion stayed valid). clear() keeps capacity, so
@@ -176,6 +188,19 @@ std::optional<BytesView> AutnCodec::Reassembler::feed_view(
     buffer_.clear();
     expected_total_ = total;
     last_len_ = autn[1];
+    // Audit hardening: the declared frame length must be *consistent with
+    // the declared fragment count* — a `total`-fragment transfer only
+    // exists for frames too long for total-1 fragments, and can never
+    // exceed total fragments' capacity. A forged header that passes the
+    // old upper-bound-only check could otherwise splice a short frame out
+    // of a longer transfer's bytes.
+    if (total > 1 &&
+        last_len_ <= kFirstPayload + kRestPayload * (total - 2u)) {
+      return reject();
+    }
+    if (last_len_ > kFirstPayload + kRestPayload * (total - 1u)) {
+      return reject();
+    }
     for (std::size_t i = 2; i < 16; ++i) buffer_.push_back(autn[i]);
   } else {
     if (seq == received_ - 1 && total == expected_total_) {
@@ -184,21 +209,16 @@ std::optional<BytesView> AutnCodec::Reassembler::feed_view(
       // here, keeping the in-progress transfer intact.
       return std::nullopt;
     }
-    if (seq != received_ || total != expected_total_) {
-      reset();
-      return std::nullopt;
-    }
+    if (seq != received_ || total != expected_total_) return reject();
     for (std::size_t i = 1; i < 16; ++i) buffer_.push_back(autn[i]);
   }
   ++received_;
   if (received_ < expected_total_) return std::nullopt;
-  if (last_len_ > buffer_.size()) {
-    reset();
-    return std::nullopt;
-  }
+  if (last_len_ > buffer_.size()) return reject();
   // Transfer complete. The buffer is kept (cleared lazily at the start of
   // the next transfer) so the returned view stays valid until the next
   // feed()/feed_view()/reset() call.
+  last_completed_total_ = expected_total_;
   expected_total_ = 0;
   received_ = 0;
   return BytesView(buffer_.data(), last_len_);

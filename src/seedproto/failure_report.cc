@@ -9,6 +9,9 @@ namespace seed::proto {
 
 namespace {
 constexpr std::size_t kMaxLabel = 63;  // DNS-style label limit
+// Payload capacity per DNN fragment (one 63-byte + one 29-byte label);
+// pack() never exceeds it and feed_view() rejects anything larger.
+constexpr std::size_t kPerDnnPayload = 92;
 const Bytes kDiagTag = {'D', 'I', 'A', 'G'};
 }  // namespace
 
@@ -90,8 +93,7 @@ std::vector<nas::Dnn> DiagDnnCodec::pack(BytesView frame) {
   // Payload capacity per DNN: remaining wire budget minus per-label length
   // bytes. With 94 bytes of wire left we fit one 63-byte label (64 wire)
   // and one 29-byte label (30 wire) = 92 payload bytes... keep it simple:
-  // two labels max, capacity = 63 + 29 = 92.
-  constexpr std::size_t kPerDnnPayload = 92;
+  // two labels max, capacity = 63 + 29 = 92 (kPerDnnPayload).
   const std::size_t total =
       frame.empty() ? 1 : (frame.size() + kPerDnnPayload - 1) / kPerDnnPayload;
   if (total > 15) {
@@ -124,6 +126,7 @@ void DiagDnnCodec::Reassembler::reset() {
   buffer_.clear();
   expected_total_ = 0;
   received_ = 0;
+  last_completed_total_ = 0;
 }
 
 std::optional<Bytes> DiagDnnCodec::Reassembler::feed(const nas::Dnn& dnn) {
@@ -132,32 +135,38 @@ std::optional<Bytes> DiagDnnCodec::Reassembler::feed(const nas::Dnn& dnn) {
   return Bytes(view->begin(), view->end());
 }
 
+std::optional<BytesView> DiagDnnCodec::Reassembler::reject() {
+  reset();
+  last_rejected_ = true;
+  return std::nullopt;
+}
+
 std::optional<BytesView> DiagDnnCodec::Reassembler::feed_view(
     const nas::Dnn& dnn) {
   PROF_ZONE("seedproto.reassemble");
   PROF_BYTES(dnn.wire_size());
+  last_rejected_ = false;
   if (!is_diag(dnn) || dnn.labels()[0].size() != kDiagTag.size() + 1) {
-    reset();
-    return std::nullopt;
+    return reject();
   }
   const std::uint8_t header = dnn.labels()[0][kDiagTag.size()];
   const std::uint8_t seq = header >> 4;
   const std::uint8_t total = header & 0x0f;
-  if (total == 0 || seq >= total) {
-    reset();
-    return std::nullopt;
-  }
+  if (total == 0 || seq >= total) return reject();
   // A multi-fragment frame always carries payload labels; a bare header
   // mid-stream is a truncated fragment — drop the transfer rather than
   // mis-assemble (the sender re-requests on the next ACK round).
-  if (total > 1 && dnn.labels().size() < 2) {
-    reset();
-    return std::nullopt;
-  }
+  if (total > 1 && dnn.labels().size() < 2) return reject();
   if (received_ == 0) {
     if (seq != 0) {
-      reset();
-      return std::nullopt;
+      if (total == last_completed_total_ && seq == total - 1) {
+        // Retransmit of the final fragment of the transfer that just
+        // completed (its ACK was lost in flight): a benign duplicate,
+        // not a malformed fragment. The completed frame's view stays
+        // untouched.
+        return std::nullopt;
+      }
+      return reject();
     }
     // Lazily drop the previous transfer's bytes (kept alive so the view
     // returned at its completion stayed valid). clear() keeps capacity, so
@@ -171,9 +180,19 @@ std::optional<BytesView> DiagDnnCodec::Reassembler::feed_view(
   } else if (seq != received_ || total != expected_total_) {
     // Reordered or cross-transfer fragment: drop the partial frame and
     // resynchronize on the next seq-0 fragment.
-    reset();
-    return std::nullopt;
+    return reject();
   }
+  // Audit hardening: pack() emits at most kPerDnnPayload (92) payload
+  // bytes per DNN in labels of <= kMaxLabel bytes. Without the bound a
+  // forged fragment could grow the frame far past any packed report and
+  // feed downstream decoders attacker-sized input.
+  std::size_t payload = 0;
+  for (std::size_t i = 1; i < dnn.labels().size(); ++i) {
+    const Bytes& l = dnn.labels()[i];
+    if (l.size() > kMaxLabel) return reject();
+    payload += l.size();
+  }
+  if (payload > kPerDnnPayload) return reject();
   for (std::size_t i = 1; i < dnn.labels().size(); ++i) {
     const Bytes& l = dnn.labels()[i];
     buffer_.insert(buffer_.end(), l.begin(), l.end());
@@ -183,6 +202,7 @@ std::optional<BytesView> DiagDnnCodec::Reassembler::feed_view(
   // Transfer complete. The buffer is kept (cleared lazily at the start of
   // the next transfer) so the returned view stays valid until the next
   // feed()/feed_view()/reset() call.
+  last_completed_total_ = expected_total_;
   expected_total_ = 0;
   received_ = 0;
   return BytesView(buffer_.data(), buffer_.size());

@@ -72,11 +72,22 @@ class DiagDnnCodec {
     /// reset() call.
     std::optional<BytesView> feed_view(const nas::Dnn& dnn);
     void reset();
+    /// True when the most recent feed()/feed_view() *rejected* its input
+    /// (malformed or inconsistent fragment). False for the benign nullopt
+    /// cases — mid-transfer progress and duplicate-of-last — so receivers
+    /// can account for genuinely malformed traffic.
+    bool last_rejected() const { return last_rejected_; }
 
    private:
+    std::optional<BytesView> reject();
+
     Bytes buffer_;
     std::uint8_t expected_total_ = 0;
     std::uint8_t received_ = 0;
+    /// Fragment count of the transfer that last completed; a retransmit
+    /// of its final fragment (lost ACK) is a benign duplicate.
+    std::uint8_t last_completed_total_ = 0;
+    bool last_rejected_ = false;
   };
 };
 

@@ -1,5 +1,7 @@
 #include "simapplet/applet.h"
 
+#include <algorithm>
+
 #include "chaos/chaos.h"
 #include "common/codec.h"
 #include "common/params.h"
@@ -49,11 +51,24 @@ modem::AuthResult SeedApplet::authenticate(
       if (seed_ctx_.unprotect_into(*frame, crypto::Direction::kDownlink,
                                    plain_scratch_)) {
         if (const auto info = proto::DiagInfo::decode(plain_scratch_)) {
+          last_diag_frame_.assign(frame->begin(), frame->end());
           // Hand off to the decision module after SIM processing time.
           const proto::DiagInfo copy = *info;
           sim_.schedule_after(sim::ms(4), [this, copy] { handle_diag(copy); });
+        } else {
+          note_malformed_downlink("undecodable assistance payload");
         }
+      } else if (frame->size() == last_diag_frame_.size() &&
+                 std::equal(frame->begin(), frame->end(),
+                            last_diag_frame_.begin())) {
+        // Exact replay of the frame just consumed: the core retransmitted
+        // after a lost synch-failure ACK. The ACK below re-acknowledges
+        // it; nothing malformed about the peer.
+      } else {
+        note_malformed_downlink("integrity-failed assistance frame");
       }
+    } else if (reassembler_.last_rejected()) {
+      note_malformed_downlink("malformed AUTN fragment");
     }
     modem::AuthResult r;
     r.kind = modem::AuthResult::Kind::kSynchFailure;
@@ -107,11 +122,18 @@ bool SeedApplet::applet_down() const {
   return dead_ || sim_.now() < down_until_;
 }
 
+void SeedApplet::note_malformed_downlink(const char* what) {
+  ++stats_.malformed_downlinks;
+  obs::count("seed.applet_malformed");
+  SLOG(kDebug, "applet") << "discarding " << what;
+}
+
 void SeedApplet::crash() {
   ++stats_.applet_crashes;
   obs::count("seed.applet_crashes");
   // Volatile state is lost: partial reassembly, in-flight plan, timers.
   reassembler_.reset();
+  last_diag_frame_.clear();
   pending_wait_.cancel();
   retry_timer_.cancel();
   action_deadline_.cancel();

@@ -55,6 +55,10 @@ struct AppletStats {
   std::uint64_t tier_escalations = 0;
   std::uint64_t applet_crashes = 0;
   std::uint64_t uplink_report_failures = 0;
+  /// AUTN-channel downlinks the applet refused (reassembly reject,
+  /// integrity failure, or undecodable assistance payload); benign lost-
+  /// ACK retransmits are excluded.
+  std::uint64_t malformed_downlinks = 0;
 };
 
 class SeedApplet : public modem::SimCard {
@@ -148,6 +152,7 @@ class SeedApplet : public modem::SimCard {
   /// Chaos: true when the applet is dead or mid-restart after a crash.
   bool applet_down() const;
   void crash();
+  void note_malformed_downlink(const char* what);
 
   sim::Simulator& sim_;
   sim::Rng& rng_;
@@ -160,6 +165,10 @@ class SeedApplet : public modem::SimCard {
   core::DeviceMode mode_ = core::DeviceMode::kSeedU;
 
   proto::AutnCodec::Reassembler reassembler_;
+  /// Bytes of the last successfully processed assistance frame: an exact
+  /// replay (core retransmit after a lost synch-failure ACK) fails the
+  /// integrity check benignly and must not count as malformed.
+  Bytes last_diag_frame_;
   /// Collab-path scratch (synchronous use only, never captured): decrypted
   /// downlink assistance, plaintext report encode, protected uplink frame.
   Bytes plain_scratch_;

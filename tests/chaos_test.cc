@@ -3,6 +3,7 @@
 // tier escalation, rate-limit refunds, recovery watchdog, degradation).
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -79,6 +80,8 @@ class ScopedTracer {
 TEST(ChaosEngine, ZeroConfigNeverInjects) {
   chaos::ChaosEngine engine(chaos::ChaosConfig{}, 1234);
   chaos::BitFlip flip;
+  chaos::SemanticMutation m;
+  std::array<std::uint8_t, 16> autn{};
   for (int i = 0; i < 1000; ++i) {
     EXPECT_FALSE(engine.drop_downlink());
     EXPECT_FALSE(engine.duplicate_downlink());
@@ -87,11 +90,112 @@ TEST(ChaosEngine, ZeroConfigNeverInjects) {
     EXPECT_FALSE(engine.duplicate_uplink());
     EXPECT_FALSE(engine.corrupt_uplink(&flip));
     EXPECT_FALSE(engine.crash_applet());
+    EXPECT_FALSE(engine.mutate_downlink(&m));
+    EXPECT_FALSE(engine.mutate_uplink(&m));
+    EXPECT_FALSE(engine.replay_stale_downlink(&autn));
+    EXPECT_FALSE(engine.unsolicited_downlink(&autn));
+    engine.capture_downlink(autn.data(), autn.size());
     for (std::uint8_t a = 1; a <= 6; ++a) {
       EXPECT_EQ(engine.reset_outcome(a), chaos::ResetOutcome::kNormal);
     }
   }
   EXPECT_EQ(engine.stats().total(), 0u);
+}
+
+// Every probability field — including the semantic additions — must be
+// visible to any(): a field any() misses is chaos the purity guards
+// cannot see.
+TEST(ChaosEngine, ConfigAnyAccountsForEveryProbability) {
+  EXPECT_FALSE(chaos::ChaosConfig{}.any());
+  const auto probe = [](auto set) {
+    chaos::ChaosConfig cfg;
+    set(cfg);
+    return cfg.any();
+  };
+  EXPECT_TRUE(probe([](auto& c) { c.downlink_drop = 0.1; }));
+  EXPECT_TRUE(probe([](auto& c) { c.downlink_dup = 0.1; }));
+  EXPECT_TRUE(probe([](auto& c) { c.downlink_corrupt = 0.1; }));
+  EXPECT_TRUE(probe([](auto& c) { c.uplink_drop = 0.1; }));
+  EXPECT_TRUE(probe([](auto& c) { c.uplink_dup = 0.1; }));
+  EXPECT_TRUE(probe([](auto& c) { c.uplink_corrupt = 0.1; }));
+  EXPECT_TRUE(probe([](auto& c) { c.at_fail = 0.1; }));
+  EXPECT_TRUE(probe([](auto& c) { c.at_timeout = 0.1; }));
+  EXPECT_TRUE(probe([](auto& c) { c.applet_crash = 0.1; }));
+  EXPECT_TRUE(probe([](auto& c) { c.action_fail[3] = 0.1; }));
+  EXPECT_TRUE(probe([](auto& c) { c.semantic_downlink = 0.1; }));
+  EXPECT_TRUE(probe([](auto& c) { c.semantic_uplink = 0.1; }));
+  EXPECT_TRUE(probe([](auto& c) { c.replay_downlink = 0.1; }));
+  EXPECT_TRUE(probe([](auto& c) { c.unsolicited_downlink = 0.1; }));
+}
+
+TEST(ChaosEngine, SemanticDrawsAreDeterministicPerSeed) {
+  chaos::ChaosConfig cfg;
+  cfg.semantic_downlink = 0.3;
+  cfg.semantic_uplink = 0.3;
+  cfg.unsolicited_downlink = 0.2;
+  chaos::ChaosEngine a(cfg, 4242), b(cfg, 4242);
+  chaos::SemanticMutation ma, mb;
+  std::array<std::uint8_t, 16> ua{}, ub{};
+  for (int i = 0; i < 5000; ++i) {
+    const bool da = a.mutate_downlink(&ma);
+    ASSERT_EQ(da, b.mutate_downlink(&mb));
+    if (da) {
+      ASSERT_EQ(ma, mb);
+    }
+    const bool va = a.mutate_uplink(&ma);
+    ASSERT_EQ(va, b.mutate_uplink(&mb));
+    if (va) {
+      ASSERT_EQ(ma, mb);
+    }
+    const bool fa = a.unsolicited_downlink(&ua);
+    ASSERT_EQ(fa, b.unsolicited_downlink(&ub));
+    if (fa) {
+      ASSERT_EQ(ua, ub);
+    }
+  }
+  EXPECT_EQ(a.stats().downlink_mutated, b.stats().downlink_mutated);
+  EXPECT_EQ(a.stats().uplink_mutated, b.stats().uplink_mutated);
+  EXPECT_EQ(a.stats().unsolicited_injected, b.stats().unsolicited_injected);
+  EXPECT_GT(a.stats().downlink_mutated, 0u);
+  EXPECT_GT(a.stats().uplink_mutated, 0u);
+  EXPECT_GT(a.stats().unsolicited_injected, 0u);
+}
+
+TEST(ChaosEngine, ReplayRingServesCapturedFragments) {
+  chaos::ChaosConfig cfg;
+  cfg.replay_downlink = 1.0;
+  chaos::ChaosEngine engine(cfg, 5);
+  std::array<std::uint8_t, 16> out{};
+  // Empty ring: the roll fires but there is nothing to replay.
+  EXPECT_FALSE(engine.replay_stale_downlink(&out));
+  std::array<std::uint8_t, 16> frag{};
+  for (std::size_t i = 0; i < frag.size(); ++i) {
+    frag[i] = static_cast<std::uint8_t>(i + 1);
+  }
+  engine.capture_downlink(frag.data(), frag.size());
+  ASSERT_TRUE(engine.replay_stale_downlink(&out));
+  EXPECT_EQ(out, frag);
+  EXPECT_GT(engine.stats().downlink_replayed, 0u);
+}
+
+TEST(ChaosEngine, NamesCoverSemanticPointsAndMutations) {
+  using chaos::Point;
+  using chaos::SemanticMutation;
+  EXPECT_EQ(chaos::point_name(Point::kSemanticDownlink), "semantic-downlink");
+  EXPECT_EQ(chaos::point_name(Point::kSemanticUplink), "semantic-uplink");
+  EXPECT_EQ(chaos::point_name(Point::kReplayDownlink), "replay-downlink");
+  EXPECT_EQ(chaos::point_name(Point::kUnsolicitedDownlink),
+            "unsolicited-downlink");
+  EXPECT_EQ(chaos::semantic_mutation_name(SemanticMutation::kTypeConfusion),
+            "type-confusion");
+  EXPECT_EQ(chaos::semantic_mutation_name(SemanticMutation::kTruncatedLength),
+            "truncated-length");
+  EXPECT_EQ(chaos::semantic_mutation_name(SemanticMutation::kOversizedLength),
+            "oversized-length");
+  EXPECT_EQ(chaos::semantic_mutation_name(SemanticMutation::kZeroFragCount),
+            "zero-frag-count");
+  EXPECT_EQ(chaos::semantic_mutation_name(SemanticMutation::kInflatedFragCount),
+            "inflated-frag-count");
 }
 
 TEST(ChaosEngine, SameSeedSameDrawSequence) {
@@ -365,6 +469,62 @@ TEST(ChaosZero, NoEngineLeavesHardeningCountersUntouched) {
   EXPECT_EQ(tb.dev().watchdog_refires(), 0);
   // Without enable_chaos the applet keeps the legacy one-attempt policy.
   EXPECT_EQ(tb.dev().applet().retry_policy().max_attempts_per_action, 1);
+}
+
+// ------------------------------------- peer quarantine (penalty box)
+
+TEST(Quarantine, RepeatedMalformedUplinkMutesThePeer) {
+  Testbed tb(31337, Scheme::kSeedU);
+  tb.secondary_congestion_prob = 0;
+  tb.bring_up();
+  corenet::CoreNetwork& core = tb.core();
+  ASSERT_FALSE(core.peer_quarantined(0));
+  const Bytes junk = {0x55, 0xaa, 0x01};  // undecodable: bad protocol
+  // Every 3rd malformed message earns a strike; the first strike opens
+  // the 10 s base mute window.
+  core.on_uplink(0, junk);
+  core.on_uplink(0, junk);
+  EXPECT_FALSE(core.peer_quarantined(0));
+  core.on_uplink(0, junk);
+  EXPECT_TRUE(core.peer_quarantined(0));
+  EXPECT_EQ(core.stats().decode_rejects, 3u);
+  EXPECT_EQ(core.stats().malformed_rx, 3u);
+  EXPECT_EQ(core.ue_stats(0).malformed_rx, 3u);
+  // The mute expires: good standing is recoverable (graceful degradation,
+  // not a permanent ban).
+  tb.simulator().run_for(sim::seconds(11));
+  EXPECT_FALSE(core.peer_quarantined(0));
+}
+
+TEST(Quarantine, MuteWindowEscalatesWithRepeatOffenses) {
+  Testbed tb(31338, Scheme::kSeedU);
+  tb.secondary_congestion_prob = 0;
+  tb.bring_up();
+  corenet::CoreNetwork& core = tb.core();
+  const Bytes junk = {0x55, 0xaa, 0x01};
+  // Two strikes back to back: the second doubles the window to 20 s.
+  for (int i = 0; i < 6; ++i) core.on_uplink(0, junk);
+  EXPECT_TRUE(core.peer_quarantined(0));
+  tb.simulator().run_for(sim::seconds(11));
+  EXPECT_TRUE(core.peer_quarantined(0)) << "second strike must outlast 10s";
+  tb.simulator().run_for(sim::seconds(10));
+  EXPECT_FALSE(core.peer_quarantined(0));
+}
+
+TEST(Quarantine, QuarantinedPeerRecordUploadsAreDropped) {
+  Testbed tb(31339, Scheme::kSeedU);
+  tb.secondary_congestion_prob = 0;
+  tb.bring_up();
+  corenet::CoreNetwork& core = tb.core();
+  core.upload_sim_records(0, {});
+  EXPECT_EQ(core.stats().suspect_reports_dropped, 0u);
+  const Bytes junk = {0x55, 0xaa, 0x01};
+  for (int i = 0; i < 3; ++i) core.on_uplink(0, junk);
+  ASSERT_TRUE(core.peer_quarantined(0));
+  // The learning path must not absorb records from a muted peer.
+  core.upload_sim_records(0, {});
+  EXPECT_EQ(core.stats().suspect_reports_dropped, 1u);
+  EXPECT_EQ(core.ue_stats(0).suspect_reports_dropped, 1u);
 }
 
 TEST(ChaosZero, ZeroConfigEngineInjectsNothingAndStillRecovers) {

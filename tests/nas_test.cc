@@ -622,5 +622,120 @@ INSTANTIATE_TEST_SUITE_P(AllMmCauses, CauseSweepTest, [] {
   return ::testing::ValuesIn(codes);
 }());
 
+// ------------------------------------------ DecodeError reason taxonomy
+
+TEST(DecodeError, SuccessLeavesNone) {
+  DecodeError err = DecodeError::kTrailingBytes;  // stale value
+  const Bytes wire = encode_message(NasMessage(ServiceAccept{}));
+  EXPECT_TRUE(decode_message(wire, &err).has_value());
+  EXPECT_EQ(err, DecodeError::kNone);
+}
+
+TEST(DecodeError, EmptyWireIsTruncated) {
+  DecodeError err;
+  EXPECT_FALSE(decode_message(BytesView{}, &err).has_value());
+  EXPECT_EQ(err, DecodeError::kTruncated);
+}
+
+TEST(DecodeError, UnknownEpdIsBadProtocol) {
+  const Bytes wire = {0x55, 0x00, 0x00};
+  DecodeError err;
+  EXPECT_FALSE(decode_message(wire, &err).has_value());
+  EXPECT_EQ(err, DecodeError::kBadProtocol);
+}
+
+TEST(DecodeError, NonPlainSecurityHeaderRejected) {
+  Bytes wire = encode_message(NasMessage(ServiceAccept{}));
+  wire[1] = 0x01;  // integrity-protected header type: not modeled
+  DecodeError err;
+  EXPECT_FALSE(decode_message(wire, &err).has_value());
+  EXPECT_EQ(err, DecodeError::kBadSecurityHeader);
+}
+
+TEST(DecodeError, UnknownMessageTypeReported) {
+  Bytes wire = encode_message(NasMessage(ServiceAccept{}));
+  wire[2] = 0xee;  // no such 5GMM type
+  DecodeError err;
+  EXPECT_FALSE(decode_message(wire, &err).has_value());
+  EXPECT_EQ(err, DecodeError::kUnknownType);
+}
+
+TEST(DecodeError, TruncatedBodyReported) {
+  RegistrationRequest m;
+  m.identity.kind = MobileIdentity::Kind::kSuci;
+  m.identity.suci = {{310, 260}, "0000000001"};
+  Bytes wire = encode_message(NasMessage(m));
+  wire.resize(wire.size() / 2);
+  DecodeError err;
+  EXPECT_FALSE(decode_message(wire, &err).has_value());
+  EXPECT_EQ(err, DecodeError::kTruncated);
+}
+
+TEST(DecodeError, TrailingBytesReported) {
+  Bytes wire = encode_message(NasMessage(ServiceAccept{}));
+  wire.push_back(0x00);
+  DecodeError err;
+  EXPECT_FALSE(decode_message(wire, &err).has_value());
+  EXPECT_EQ(err, DecodeError::kTrailingBytes);
+}
+
+TEST(DecodeError, LegacyOverloadAgrees) {
+  Bytes wire = encode_message(NasMessage(ServiceAccept{}));
+  wire.push_back(0x00);
+  DecodeError err;
+  EXPECT_EQ(decode_message(wire).has_value(),
+            decode_message(wire, &err).has_value());
+}
+
+TEST(DecodeError, NamesCoverTaxonomy) {
+  EXPECT_EQ(decode_error_name(DecodeError::kNone), "none");
+  EXPECT_EQ(decode_error_name(DecodeError::kTruncated), "truncated");
+  EXPECT_EQ(decode_error_name(DecodeError::kBadProtocol), "bad-protocol");
+  EXPECT_EQ(decode_error_name(DecodeError::kBadSecurityHeader),
+            "bad-security-header");
+  EXPECT_EQ(decode_error_name(DecodeError::kUnknownType), "unknown-type");
+  EXPECT_EQ(decode_error_name(DecodeError::kBadFieldValue),
+            "bad-field-value");
+  EXPECT_EQ(decode_error_name(DecodeError::kTrailingBytes),
+            "trailing-bytes");
+}
+
+// -------------------------------------------- Dnn IE audit regressions
+
+TEST(Ie, DnnDecodeRejectsOversizedBody) {
+  // 51 one-byte labels = 102 body bytes: over the 100-byte wire cap a
+  // real DNN IE can carry; a forged length must not smuggle more.
+  Bytes wire;
+  wire.push_back(102);
+  for (int i = 0; i < 51; ++i) {
+    wire.push_back(1);
+    wire.push_back('x');
+  }
+  Reader r(wire);
+  EXPECT_FALSE(Dnn::decode(r).has_value());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Ie, DnnDecodeRejectsEmptyLabel) {
+  const Bytes wire = {1, 0};  // one zero-length label
+  Reader r(wire);
+  EXPECT_FALSE(Dnn::decode(r).has_value());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Ie, ReaderTruncatedFlagOnlyOnOutOfBounds) {
+  const Bytes wire = {0x01};
+  Reader r(wire);
+  (void)r.u8();
+  (void)r.u8();  // past the end
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.truncated());
+  Reader s(wire);
+  (void)s.u8();
+  s.fail();  // semantic failure: not a truncation
+  EXPECT_FALSE(s.ok());
+  EXPECT_FALSE(s.truncated());
+}
+
 }  // namespace
 }  // namespace seed::nas

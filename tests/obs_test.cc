@@ -365,5 +365,61 @@ TEST_F(ObsTest, EscapedJsonlRoundTripsArbitraryBytes) {
   }
 }
 
+// ------------------------------------- adversarial-traffic accounting
+
+TEST_F(ObsTest, AdversarialEventsAssembleIntoSpanCounters) {
+  Tracer& t = Tracer::instance();
+  t.enable(true);
+  emit_failure_injected(0, 9);  // opens the span the events attach to
+  emit_decode_rejected(Origin::kInfra, 1);
+  emit_decode_rejected(Origin::kModem, 4);
+  emit_peer_quarantined(3);
+  emit_suspect_report_dropped(Origin::kInfra);
+
+  const std::vector<SpanSummary> spans = t.summarize();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].decode_rejects, 2u);
+  EXPECT_EQ(spans[0].peer_quarantines, 1u);
+  EXPECT_EQ(spans[0].suspect_reports_dropped, 1u);
+
+  // The DecodeError reason and the strike count ride in `cause`.
+  EXPECT_EQ(t.event_count(EventKind::kDecodeRejected), 2u);
+  const auto& ev = t.events();
+  EXPECT_EQ(ev[1].cause, 1);
+  EXPECT_EQ(ev[2].cause, 4);
+  EXPECT_EQ(ev[3].kind, EventKind::kPeerQuarantined);
+  EXPECT_EQ(ev[3].cause, 3);
+}
+
+TEST_F(ObsTest, PrintSummaryShowsAdversarialColumns) {
+  Tracer& t = Tracer::instance();
+  t.enable(true);
+  emit_failure_injected(1, 51);
+  emit_decode_rejected(Origin::kInfra, 2);
+  emit_decode_rejected(Origin::kInfra, 2);
+  emit_peer_quarantined(1);
+  emit_suspect_report_dropped();
+
+  std::stringstream out;
+  Tracer::print_summary(out, t.summarize());
+  const std::string text = out.str();
+  EXPECT_NE(text.find("decode_rejects=2"), std::string::npos) << text;
+  EXPECT_NE(text.find("quarantined=1"), std::string::npos) << text;
+  EXPECT_NE(text.find("suspect_dropped=1"), std::string::npos) << text;
+}
+
+TEST_F(ObsTest, AdversarialEventsRoundTripThroughJsonl) {
+  Tracer& t = Tracer::instance();
+  t.enable(true);
+  emit_failure_injected(0, 9);
+  emit_decode_rejected(Origin::kModem, 5);
+  emit_peer_quarantined(2, Origin::kInfra);
+  emit_suspect_report_dropped(Origin::kInfra);
+  std::stringstream buf;
+  t.export_jsonl(buf);
+  const std::vector<Event> back = Tracer::import_jsonl(buf);
+  EXPECT_EQ(back, t.events());
+}
+
 }  // namespace
 }  // namespace seed::obs

@@ -3,6 +3,9 @@
 // cause-code exhaustive encodes.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
+#include "chaos/chaos.h"
 #include "crypto/cmac.h"
 #include "crypto/ctr.h"
 #include "crypto/security_context.h"
@@ -349,6 +352,99 @@ TEST(ReassemblerProperty, BitFlippedFragmentsNeverCrash) {
           static_cast<std::uint8_t>(1 << rng.uniform_int(0, 7));
     }
     (void)dre.feed(nas::Dnn::from_labels(labels));
+  }
+}
+
+// ---------------------------------- semantic (field-aware) mutation fuzz
+
+// Every SemanticMutation shape against the AUTN reassembler's zero-copy
+// path, injected at a random point of an otherwise clean transfer: no
+// crash, and after a reset a clean transfer must still complete. The
+// mutated feed must never complete with wrong bytes.
+TEST(SemanticFuzz, MutatedAutnFragmentsNeverCrashReassembler) {
+  sim::Rng rng(24001);
+  proto::AutnCodec::Reassembler re;
+  std::vector<std::array<std::uint8_t, 16>> frags;
+  for (int i = 0; i < 10000; ++i) {
+    Bytes frame(static_cast<std::size_t>(rng.uniform_int(1, 224)));
+    for (auto& b : frame) b = static_cast<std::uint8_t>(rng.next());
+    proto::AutnCodec::fragment_into(frame, frags);
+    const auto pick = static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(frags.size()) - 1));
+    const auto m = static_cast<chaos::SemanticMutation>(rng.uniform_int(
+        0, static_cast<std::int64_t>(chaos::SemanticMutation::kCount) - 1));
+    // Clean prefix, then the mutated fragment where the clean one was due.
+    for (std::size_t f = 0; f < pick; ++f) (void)re.feed_view(frags[f]);
+    auto mutated = frags[pick];
+    chaos::apply_semantic_autn(m, mutated.data(), mutated.size());
+    const auto out = re.feed_view(mutated);
+    if (out) {
+      // A length mutation on a non-first fragment lands in payload bytes
+      // the reassembler cannot vet (the integrity check downstream does),
+      // so completion is legal — but it must never *inflate* the frame.
+      ASSERT_LE(out->size(), frame.size())
+          << "iteration " << i << " mutation "
+          << chaos::semantic_mutation_name(m);
+    }
+    re.reset();
+    std::optional<BytesView> clean;
+    for (const auto& f : frags) clean = re.feed_view(f);
+    ASSERT_TRUE(clean.has_value()) << "iteration " << i;
+    ASSERT_EQ(Bytes(clean->begin(), clean->end()), frame);
+  }
+}
+
+TEST(SemanticFuzz, MutatedDnnFragmentsNeverCrashReassembler) {
+  sim::Rng rng(24002);
+  proto::DiagDnnCodec::Reassembler re;
+  for (int i = 0; i < 10000; ++i) {
+    Bytes frame(static_cast<std::size_t>(rng.uniform_int(1, 400)));
+    for (auto& b : frame) b = static_cast<std::uint8_t>(rng.next());
+    const auto dnns = proto::DiagDnnCodec::pack(frame);
+    const auto pick = static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(dnns.size()) - 1));
+    const auto m = static_cast<chaos::SemanticMutation>(rng.uniform_int(
+        0, static_cast<std::int64_t>(chaos::SemanticMutation::kCount) - 1));
+    for (std::size_t f = 0; f < pick; ++f) (void)re.feed_view(dnns[f]);
+    std::vector<Bytes> labels = dnns[pick].labels();
+    chaos::apply_semantic_dnn(m, labels);
+    const auto out = re.feed_view(nas::Dnn::from_labels(labels));
+    if (out) {
+      // kTruncatedLength drops a trailing payload label, which only the
+      // integrity check can catch; the completion must then be a strict
+      // prefix of the real frame, never inflated or reordered.
+      ASSERT_LE(out->size(), frame.size())
+          << "iteration " << i << " mutation "
+          << chaos::semantic_mutation_name(m);
+      ASSERT_TRUE(std::equal(out->begin(), out->end(), frame.begin()))
+          << "iteration " << i << " mutation "
+          << chaos::semantic_mutation_name(m);
+    }
+    re.reset();
+    std::optional<BytesView> clean;
+    for (const auto& d : dnns) clean = re.feed_view(d);
+    ASSERT_TRUE(clean.has_value()) << "iteration " << i;
+    ASSERT_EQ(Bytes(clean->begin(), clean->end()), frame);
+  }
+}
+
+// The DecodeError overload must agree with the legacy overload on every
+// mutated wire, and report kNone exactly when the decode succeeds.
+TEST(NasProperty, DecodeErrorOverloadConsistentOnMutatedWires) {
+  for (int kind = 0; kind < kNasMessageKinds; ++kind) {
+    sim::Rng rng(24100 + kind * 17);
+    for (int i = 0; i < 10000; ++i) {
+      const Bytes wire =
+          mutate(rng, nas::encode_message(random_message_of(rng, kind)));
+      const auto legacy = nas::decode_message(wire);
+      nas::DecodeError err = nas::DecodeError::kBadFieldValue;
+      const auto traced = nas::decode_message(wire, &err);
+      ASSERT_EQ(legacy.has_value(), traced.has_value())
+          << "kind " << kind << " iteration " << i;
+      ASSERT_EQ(err == nas::DecodeError::kNone, traced.has_value())
+          << "kind " << kind << " iteration " << i << " reason "
+          << nas::decode_error_name(err);
+    }
   }
 }
 

@@ -454,5 +454,114 @@ TEST(UplinkChannel, ReplayedReportRejected) {
   EXPECT_FALSE(infra.unprotect(frame, Direction::kUplink).has_value());
 }
 
+// ----------------------- decoder-hardening audit regressions (semantic
+// chaos: forged headers, inconsistent declared lengths, oversized labels)
+
+TEST(AutnCodec, InconsistentDeclaredLengthRejected) {
+  AutnCodec::Reassembler re;
+  std::array<std::uint8_t, 16> frag0{};
+  // A 3-fragment transfer only exists for frames too long for 2 fragments
+  // (> 14 + 15 = 29 bytes); a forged header declaring 20 must be rejected
+  // up front rather than splicing a short frame out of 3 fragments' bytes.
+  frag0[0] = 0x03;  // seq 0, total 3
+  frag0[1] = 20;
+  EXPECT_FALSE(re.feed(frag0).has_value());
+  EXPECT_TRUE(re.last_rejected());
+  EXPECT_EQ(re.pending_fragments(), 0u);
+  // ...and a declared length beyond the fragment count's capacity.
+  frag0[0] = 0x02;  // seq 0, total 2 -> capacity 29
+  frag0[1] = 30;
+  EXPECT_FALSE(re.feed(frag0).has_value());
+  EXPECT_TRUE(re.last_rejected());
+  // The boundary values themselves still start a transfer.
+  frag0[0] = 0x02;
+  frag0[1] = 30 - 1;
+  EXPECT_FALSE(re.feed(frag0).has_value());  // mid-transfer progress
+  EXPECT_FALSE(re.last_rejected());
+}
+
+TEST(AutnCodec, LastRejectedDistinguishesBenignNullopt) {
+  Bytes frame(60, 0x5a);
+  const auto frags = AutnCodec::fragment(frame);
+  ASSERT_GE(frags.size(), 3u);
+  AutnCodec::Reassembler re;
+  EXPECT_FALSE(re.feed(frags[0]).has_value());  // progress, not a reject
+  EXPECT_FALSE(re.last_rejected());
+  EXPECT_FALSE(re.feed(frags[0]).has_value());  // duplicate of last
+  EXPECT_FALSE(re.last_rejected());
+  EXPECT_FALSE(re.feed(frags[2]).has_value());  // reorder -> reject
+  EXPECT_TRUE(re.last_rejected());
+}
+
+TEST(AutnCodec, FinalFragmentRetransmitAfterCompletionIsBenign) {
+  Bytes frame(60, 0x77);
+  const auto frags = AutnCodec::fragment(frame);
+  ASSERT_GE(frags.size(), 2u);
+  AutnCodec::Reassembler re;
+  std::optional<Bytes> out;
+  for (const auto& f : frags) out = re.feed(f);
+  ASSERT_TRUE(out.has_value());
+  // The synch-failure ACK of the final fragment was lost; the core
+  // retransmits it. Not malformed — and the next transfer still works.
+  EXPECT_FALSE(re.feed(frags.back()).has_value());
+  EXPECT_FALSE(re.last_rejected());
+  out.reset();
+  for (const auto& f : frags) out = re.feed(f);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, frame);
+}
+
+TEST(DiagDnn, OversizedPayloadLabelRejected) {
+  // Forged fragment whose payload label exceeds the 63-byte label cap
+  // pack() guarantees; unchecked it would bloat the reassembled frame.
+  const Bytes head = {'D', 'I', 'A', 'G', 0x01};  // seq 0, total 1
+  DiagDnnCodec::Reassembler re;
+  EXPECT_FALSE(
+      re.feed(nas::Dnn::from_labels({head, Bytes(64, 0xaa)})).has_value());
+  EXPECT_TRUE(re.last_rejected());
+}
+
+TEST(DiagDnn, OversizedFragmentPayloadRejected) {
+  // Two max-size labels sum past the 92-byte per-DNN payload budget.
+  const Bytes head = {'D', 'I', 'A', 'G', 0x01};
+  DiagDnnCodec::Reassembler re;
+  EXPECT_FALSE(
+      re.feed(nas::Dnn::from_labels({head, Bytes(63, 0x01), Bytes(63, 0x02)}))
+          .has_value());
+  EXPECT_TRUE(re.last_rejected());
+}
+
+TEST(DiagDnn, LastRejectedDistinguishesBenignNullopt) {
+  Bytes frame(150, 0x3c);
+  const auto dnns = DiagDnnCodec::pack(frame);
+  ASSERT_EQ(dnns.size(), 2u);
+  DiagDnnCodec::Reassembler re;
+  EXPECT_FALSE(re.feed(dnns[0]).has_value());  // progress
+  EXPECT_FALSE(re.last_rejected());
+  EXPECT_FALSE(re.feed(dnns[0]).has_value());  // duplicate of last
+  EXPECT_FALSE(re.last_rejected());
+  EXPECT_FALSE(re.feed(nas::Dnn("internet")).has_value());  // non-diag
+  EXPECT_TRUE(re.last_rejected());
+}
+
+TEST(DiagDnn, FinalFragmentRetransmitAfterCompletionIsBenign) {
+  Bytes frame(150, 0x3c);
+  const auto dnns = DiagDnnCodec::pack(frame);
+  ASSERT_EQ(dnns.size(), 2u);
+  DiagDnnCodec::Reassembler re;
+  EXPECT_FALSE(re.feed(dnns[0]).has_value());
+  const auto out = re.feed(dnns[1]);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, frame);
+  // Retransmit of the final DNN after the reject-ACK was lost: benign.
+  EXPECT_FALSE(re.feed(dnns[1]).has_value());
+  EXPECT_FALSE(re.last_rejected());
+  // The next clean transfer still assembles.
+  std::optional<Bytes> redo;
+  for (const auto& d : dnns) redo = re.feed(d);
+  ASSERT_TRUE(redo.has_value());
+  EXPECT_EQ(*redo, frame);
+}
+
 }  // namespace
 }  // namespace seed::proto
