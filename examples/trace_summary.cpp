@@ -8,6 +8,11 @@
 //   ./build/examples/trace_summary < trace.jsonl            # from stdin
 //   ./build/examples/trace_summary --demo                   # generate one
 //   ./build/examples/trace_summary --prof BENCH_profile.json # zone report
+//   ./build/examples/trace_summary --accuracy labeled.jsonl # accuracy view
+//
+// --accuracy joins kGroundTruthLabel events (labeled scenario packs) to
+// the kDiagnosisVerdict stream and prints the per-cause confusion
+// matrix, precision/recall, and learner convergence curve.
 //
 // --demo runs a SEED-U testbed through a control-plane and a data-plane
 // failure with the tracer on, exports the events through a JSONL
@@ -26,6 +31,7 @@
 #include <vector>
 
 #include "common/minijson.h"
+#include "eval/accuracy.h"
 #include "obs/trace.h"
 #include "testbed/testbed.h"
 
@@ -53,7 +59,7 @@ std::vector<obs::Event> demo_events() {
 
 void print_totals(std::ostream& os, const std::vector<obs::Event>& events) {
   constexpr int kMaxKind =
-      static_cast<int>(obs::EventKind::kSuspectReportDropped);
+      static_cast<int>(obs::EventKind::kDiagnosisVerdict);
   std::size_t counts[kMaxKind + 1] = {};
   for (const obs::Event& e : events) ++counts[static_cast<int>(e.kind)];
   os << "event totals:";
@@ -154,6 +160,7 @@ int main(int argc, char** argv) {
   bool lifecycle = false;
   bool demo = false;
   bool prof = false;
+  bool accuracy = false;
   const char* path = nullptr;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -163,6 +170,8 @@ int main(int argc, char** argv) {
       demo = true;
     } else if (arg == "--prof") {
       prof = true;
+    } else if (arg == "--accuracy") {
+      accuracy = true;
     } else {
       path = argv[i];
     }
@@ -205,6 +214,16 @@ int main(int argc, char** argv) {
   }
 
   print_totals(std::cout, events);
+  if (accuracy) {
+    const eval::AccuracyReport report = eval::score(events);
+    if (report.labels == 0) {
+      std::cerr << "trace_summary: no ground-truth labels in this trace "
+                   "(run a labeled scenario pack with tracing on)\n";
+      return 1;
+    }
+    eval::print_text(std::cout, report);
+    return stats.malformed != 0 ? 2 : 0;
+  }
   if (lifecycle) {
     const std::vector<obs::LifecycleTree> trees =
         obs::Tracer::build_lifecycle(std::move(events));

@@ -7,6 +7,7 @@
 #include "obs/prof.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
+#include "seed/verdict.h"
 #include "simcore/log.h"
 
 namespace seed::corenet {
@@ -195,6 +196,14 @@ void CoreNetwork::note_malformed(UeContext& ue, const char* what) {
   auto& reg = obs::Registry::instance();
   if (reg.enabled()) {
     reg.counter(obs::ue_series("core.malformed", ue.id)).inc();
+  }
+  if (obs::enabled()) {
+    // The infra's diagnosis of this input: adversarial, reject it. One
+    // verdict per malformed frame joins the poisoning injection's label.
+    core::DiagnosisVerdict v;
+    v.kind = core::VerdictKind::kReportReject;
+    v.source = core::VerdictSource::kReport;
+    core::emit_verdict(v);
   }
   if (ue.malformed_count % kMalformedStrikeThreshold != 0) return;
   ++ue.malformed_strikes;
@@ -409,6 +418,7 @@ void CoreNetwork::reject_registration(UeContext& ue, std::uint8_t cause,
     ev.standardized_cause = cause;
   }
   ev.congested = ue.faults.congested;
+  ev.congestion_wait_s = ue.faults.congestion_wait_s;
   if (const Subscriber* sub = sub_of(ue)) {
     ev.config = config_for(nas::Plane::kControl, cause, *sub);
   }
@@ -600,6 +610,7 @@ void CoreNetwork::reject_pdu(UeContext& ue, const nas::SmHeader& hdr,
     ev.standardized_cause = cause;
   }
   ev.congested = ue.faults.congested;
+  ev.congestion_wait_s = ue.faults.congestion_wait_s;
   if (const Subscriber* sub = sub_of(ue)) {
     ev.config = config_for(nas::Plane::kData, cause, *sub);
   }
@@ -642,6 +653,18 @@ void CoreNetwork::handle_pdu_modification(
   cmd.tft = m.tft;
   cmd.qos = m.qos;
   send(ue, nas::NasMessage(cmd));
+}
+
+void CoreNetwork::note_unresponsive(UeId id) {
+  UeContext& ue = context(id);
+  // Passive branch of Fig. 8: the device stopped answering (SIM/modem
+  // channel fault). The tree requests a hardware reset over the
+  // assistance downlink.
+  core::FailureEvent ev;
+  ev.network_initiated = false;
+  ev.device_responded = false;
+  ev.plane = nas::Plane::kControl;
+  assist(ue, ev);
 }
 
 void CoreNetwork::make_sessions_stale(UeId id) {
@@ -891,6 +914,17 @@ void CoreNetwork::handle_diag_report(UeContext& ue,
   const bool dns_failure = report.type == proto::FailureType::kDns;
   const bool stale = ue.faults.stale_session;
 
+  const auto report_verdict = [](core::VerdictKind kind,
+                                 std::uint8_t action) {
+    if (!obs::enabled()) return;
+    core::DiagnosisVerdict v;
+    v.plane = 1;
+    v.kind = kind;
+    v.source = core::VerdictSource::kReport;
+    v.action = action;
+    core::emit_verdict(v);
+  };
+
   if (dns_failure && !dns_up_) {
     // Configure a backup DNS in the follow-up modification (B3, §4.4.2).
     for (auto& [psi, s] : ue.sessions) {
@@ -901,6 +935,7 @@ void CoreNetwork::handle_diag_report(UeContext& ue,
     cmd.dns_addr = backup_dns();
     send(ue, nas::NasMessage(cmd));
     ++stats_.fast_dplane_resets;
+    report_verdict(core::VerdictKind::kDnsFix, 6);  // B3
     return;
   }
 
@@ -910,6 +945,7 @@ void CoreNetwork::handle_diag_report(UeContext& ue,
     cmd.hdr = {1, 0};
     send(ue, nas::NasMessage(cmd));
     ++stats_.fast_dplane_resets;
+    report_verdict(core::VerdictKind::kPolicyFix, 3);  // A3 config update
     return;
   }
 
@@ -917,6 +953,7 @@ void CoreNetwork::handle_diag_report(UeContext& ue,
   // Fig. 6 fast reset next; the freshly established DATA session clears
   // the stale state in handle_pdu_request.
   ++stats_.fast_dplane_resets;
+  report_verdict(core::VerdictKind::kStaleReset, 6);  // B3 fast reset
 }
 
 void CoreNetwork::upload_sim_records(

@@ -68,6 +68,10 @@ struct Faults {
   int transient_reject_count = 0;
   /// Cell/core congestion: #22 (c-plane) / #26 (d-plane) while set.
   bool congested = false;
+  /// Wait the network advertises with congestion rejects (rides into
+  /// FailureEvent::congestion_wait_s; 30 matches its default so runs
+  /// that never touch the knob are byte-identical).
+  std::uint16_t congestion_wait_s = 30;
   /// Swallow registration requests (device-side timeout path).
   bool timeout_registration = false;
   /// Unstandardized failure: reject with #111 on the wire, customized
@@ -189,6 +193,10 @@ class CoreNetwork {
     set_effective_policy(kPrimary, p);
   }
   const TrafficPolicy& effective_policy(UeId ue = kPrimary) const;
+  /// AMF-side detection of a silent device (SIM/modem channel fault):
+  /// feeds the passive no-response branch of Fig. 8, which requests a
+  /// hardware reset over the assistance downlink.
+  void note_unresponsive(UeId ue);
   /// Marks established sessions stale (outdated gateway state).
   void make_sessions_stale(UeId ue);
   void make_sessions_stale() { make_sessions_stale(kPrimary); }

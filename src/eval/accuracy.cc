@@ -1,0 +1,276 @@
+#include "eval/accuracy.h"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <map>
+#include <ostream>
+#include <string>
+
+namespace seed::eval {
+namespace {
+
+using core::CauseFamily;
+using core::kCauseFamilyCount;
+
+std::size_t idx(CauseFamily f) { return static_cast<std::size_t>(f); }
+
+/// Fixed-precision double rendering so the committed JSON is
+/// byte-deterministic across standard libraries.
+std::string fixed6(double v) {
+  std::array<char, 32> buf{};
+  std::snprintf(buf.data(), buf.size(), "%.6f", v);
+  return std::string(buf.data());
+}
+
+}  // namespace
+
+double AccuracyReport::precision(CauseFamily f) const {
+  // All scored first-verdicts that predicted f, across every true row.
+  std::uint64_t predicted_f = 0;
+  for (const FamilyScore& row : families) predicted_f += row.predicted[idx(f)];
+  if (predicted_f == 0) return 0.0;
+  return static_cast<double>(families[idx(f)].correct) /
+         static_cast<double>(predicted_f);
+}
+
+double AccuracyReport::recall(CauseFamily f) const {
+  const FamilyScore& row = families[idx(f)];
+  if (row.injected == 0) return 0.0;
+  return static_cast<double>(row.correct) /
+         static_cast<double>(row.injected);
+}
+
+bool action_cures_custom(std::uint8_t plane, std::uint8_t action) {
+  switch (action) {
+    case 1: case 4: case 5:  // A1 / B1 / B2: fresh-identity registration
+      return true;
+    case 3: case 6:          // A3 / B3: make-before-break d-plane reset
+      return plane == 1;
+    default:
+      return false;
+  }
+}
+
+AccuracyReport score(const std::vector<obs::Event>& events) {
+  AccuracyReport report;
+
+  // Pass 1: ground truth. Label -> true family, in injection order.
+  std::map<std::uint32_t, CauseFamily> truth;
+  for (const obs::Event& e : events) {
+    if (e.kind != obs::EventKind::kGroundTruthLabel || e.label == 0) continue;
+    const auto family = static_cast<CauseFamily>(e.cause);
+    if (idx(family) >= kCauseFamilyCount) continue;
+    if (truth.emplace(e.label, family).second) {
+      ++report.labels;
+      ++report.families[idx(family)].injected;
+    }
+  }
+
+  // Pass 2: verdicts, stream order. First verdict per label scores it.
+  std::map<std::uint32_t, bool> scored;
+  struct CurveAcc {
+    std::uint64_t decisions = 0;
+    std::uint64_t correct = 0;
+  };
+  std::map<std::uint32_t, CurveAcc> curve;  // learner depth -> tally
+  for (const obs::Event& e : events) {
+    if (e.kind != obs::EventKind::kDiagnosisVerdict) continue;
+    ++report.verdicts_total;
+    const auto verdict = core::verdict_from_event(e);
+    const auto it = e.label != 0 ? truth.find(e.label) : truth.end();
+    if (!verdict || it == truth.end()) {
+      ++report.verdicts_unattributed;
+      continue;
+    }
+    if (scored[e.label]) continue;  // already graded by its first verdict
+    scored[e.label] = true;
+
+    const CauseFamily true_family = it->second;
+    const CauseFamily predicted = core::predicted_family(*verdict);
+    FamilyScore& row = report.families[idx(true_family)];
+    ++row.diagnosed;
+    ++report.diagnosed;
+    ++row.predicted[idx(predicted)];
+    if (predicted == true_family) {
+      ++row.correct;
+      ++report.correct;
+    }
+
+    // Convergence: custom-cause decisions graded on action quality.
+    if (true_family == CauseFamily::kCustomUnknown) {
+      CurveAcc& acc = curve[verdict->learner_records];
+      ++acc.decisions;
+      if (action_cures_custom(verdict->plane, verdict->action)) {
+        ++acc.correct;
+      }
+    }
+  }
+
+  // Undiagnosed labels land in the kNone column of their true row.
+  for (const auto& [label, family] : truth) {
+    if (!scored[label]) {
+      ++report.families[idx(family)].predicted[idx(CauseFamily::kNone)];
+    }
+  }
+
+  // Curve: ascending learner depth with cumulative accuracy. Aggregating
+  // by depth (not stream position) makes the curve independent of how
+  // fleet shards interleave, so merged runs stay byte-deterministic.
+  std::uint64_t cum_decisions = 0;
+  std::uint64_t cum_correct = 0;
+  for (const auto& [records, acc] : curve) {
+    CurvePoint p;
+    p.records = records;
+    p.decisions = acc.decisions;
+    p.correct = acc.correct;
+    cum_decisions += acc.decisions;
+    cum_correct += acc.correct;
+    p.cum_decisions = cum_decisions;
+    p.cum_correct = cum_correct;
+    p.cum_accuracy = static_cast<double>(cum_correct) /
+                     static_cast<double>(cum_decisions);
+    report.curve.push_back(p);
+  }
+  return report;
+}
+
+std::array<double, 4> curve_quartiles(const AccuracyReport& report) {
+  std::array<double, 4> out{};
+  const std::size_t n = report.curve.size();
+  if (n == 0) return out;
+  for (std::size_t q = 0; q < 4; ++q) {
+    const std::size_t i =
+        std::min(n - 1, ((q + 1) * n) / 4 == 0 ? 0 : ((q + 1) * n) / 4 - 1);
+    out[q] = report.curve[i].cum_accuracy;
+  }
+  return out;
+}
+
+bool curve_within_band(const AccuracyReport& report,
+                       const std::array<double, 4>& expected,
+                       double tolerance) {
+  const auto actual = curve_quartiles(report);
+  for (std::size_t q = 0; q < 4; ++q) {
+    const double delta = actual[q] - expected[q];
+    if (delta > tolerance || delta < -tolerance) return false;
+  }
+  return true;
+}
+
+void write_json(std::ostream& os, const AccuracyReport& report) {
+  os << "{\n";
+  os << "  \"labels\": " << report.labels << ",\n";
+  os << "  \"diagnosed\": " << report.diagnosed << ",\n";
+  os << "  \"correct\": " << report.correct << ",\n";
+  os << "  \"overall_accuracy\": " << fixed6(report.overall_accuracy())
+     << ",\n";
+  os << "  \"verdicts_total\": " << report.verdicts_total << ",\n";
+  os << "  \"verdicts_unattributed\": " << report.verdicts_unattributed
+     << ",\n";
+  os << "  \"families\": {";
+  bool first_family = true;
+  for (std::size_t f = 1; f < kCauseFamilyCount; ++f) {
+    const FamilyScore& row = report.families[f];
+    bool any_predicted = false;
+    for (const std::uint64_t c : row.predicted) any_predicted |= c != 0;
+    if (row.injected == 0 && !any_predicted) continue;
+    if (!first_family) os << ",";
+    first_family = false;
+    const auto family = static_cast<CauseFamily>(f);
+    os << "\n    \"" << core::family_name(family) << "\": {"
+       << "\"injected\": " << row.injected
+       << ", \"diagnosed\": " << row.diagnosed
+       << ", \"correct\": " << row.correct
+       << ", \"precision\": " << fixed6(report.precision(family))
+       << ", \"recall\": " << fixed6(report.recall(family))
+       << ", \"confusion\": {";
+    bool first_cell = true;
+    for (std::size_t p = 0; p < kCauseFamilyCount; ++p) {
+      if (row.predicted[p] == 0) continue;
+      if (!first_cell) os << ", ";
+      first_cell = false;
+      os << "\"" << core::family_name(static_cast<CauseFamily>(p))
+         << "\": " << row.predicted[p];
+    }
+    os << "}}";
+  }
+  os << "\n  },\n";
+  os << "  \"convergence\": {\n";
+  std::uint64_t decisions = 0;
+  std::uint64_t correct = 0;
+  if (!report.curve.empty()) {
+    decisions = report.curve.back().cum_decisions;
+    correct = report.curve.back().cum_correct;
+  }
+  os << "    \"decisions\": " << decisions << ",\n";
+  os << "    \"correct\": " << correct << ",\n";
+  os << "    \"final_accuracy\": " << fixed6(report.curve_final_accuracy())
+     << ",\n";
+  const auto quartiles = curve_quartiles(report);
+  os << "    \"quartiles\": [" << fixed6(quartiles[0]) << ", "
+     << fixed6(quartiles[1]) << ", " << fixed6(quartiles[2]) << ", "
+     << fixed6(quartiles[3]) << "],\n";
+  os << "    \"curve\": [";
+  for (std::size_t i = 0; i < report.curve.size(); ++i) {
+    const CurvePoint& p = report.curve[i];
+    if (i != 0) os << ",";
+    os << "\n      {\"records\": " << p.records << ", \"decisions\": "
+       << p.decisions << ", \"correct\": " << p.correct
+       << ", \"cum_accuracy\": " << fixed6(p.cum_accuracy) << "}";
+  }
+  if (!report.curve.empty()) os << "\n    ";
+  os << "]\n  }\n}\n";
+}
+
+void print_text(std::ostream& os, const AccuracyReport& report) {
+  os << "diagnosis accuracy: " << report.correct << "/" << report.labels
+     << " labeled injections correct ("
+     << fixed6(report.overall_accuracy() * 100.0) << "%), "
+     << report.diagnosed << " diagnosed, " << report.verdicts_unattributed
+     << " unattributed verdict(s)\n\n";
+  os << "  true family             inj  diag corr  prec   recall  "
+        "confusion (predicted: count)\n";
+  for (std::size_t f = 1; f < kCauseFamilyCount; ++f) {
+    const FamilyScore& row = report.families[f];
+    bool any_predicted = false;
+    for (const std::uint64_t c : row.predicted) any_predicted |= c != 0;
+    if (row.injected == 0 && !any_predicted) continue;
+    const auto family = static_cast<CauseFamily>(f);
+    std::array<char, 96> head{};
+    std::snprintf(head.data(), head.size(),
+                  "  %-22s %5llu %5llu %4llu  %.3f  %.3f   ",
+                  std::string(core::family_name(family)).c_str(),
+                  static_cast<unsigned long long>(row.injected),
+                  static_cast<unsigned long long>(row.diagnosed),
+                  static_cast<unsigned long long>(row.correct),
+                  report.precision(family), report.recall(family));
+    os << head.data();
+    bool first = true;
+    for (std::size_t p = 0; p < kCauseFamilyCount; ++p) {
+      if (row.predicted[p] == 0) continue;
+      if (!first) os << ", ";
+      first = false;
+      os << core::family_name(static_cast<CauseFamily>(p)) << ":"
+         << row.predicted[p];
+    }
+    if (first) os << "-";
+    os << "\n";
+  }
+  if (!report.curve.empty()) {
+    os << "\n  learner convergence (" << report.curve.back().cum_decisions
+       << " custom-cause decisions):\n";
+    os << "  records  decisions  correct  cum_accuracy\n";
+    for (const CurvePoint& p : report.curve) {
+      std::array<char, 64> buf{};
+      std::snprintf(buf.data(), buf.size(),
+                    "  %7u  %9llu  %7llu  %.6f\n", p.records,
+                    static_cast<unsigned long long>(p.decisions),
+                    static_cast<unsigned long long>(p.correct),
+                    p.cum_accuracy);
+      os << buf.data();
+    }
+  }
+}
+
+}  // namespace seed::eval

@@ -1,0 +1,103 @@
+// Diagnosis-accuracy scorer: joins ground-truth labels to diagnosis
+// verdicts in a trace stream and produces per-cause confusion matrices,
+// precision/recall, and online-learning convergence curves.
+//
+// Scoring rules (also documented in EXPERIMENTS.md):
+//  * every kGroundTruthLabel event defines the true cause family of one
+//    labeled injection (keyed by the 32-bit label);
+//  * the FIRST kDiagnosisVerdict event carrying that label is the scored
+//    diagnosis — later verdicts for the same label (retries, cache
+//    replays on re-rejects) do not re-score it;
+//  * a label with no verdict at all counts as undiagnosed (a recall
+//    miss attributed to the "none" column);
+//  * verdicts with no label (or a label no injection claimed) are
+//    counted as unattributed, never scored.
+//
+// The convergence curve grades the §5.3 learner separately: for
+// custom-cause injections the *family* is trivially right (the verdict
+// says "customized cause"), so the curve instead asks whether the
+// suggested action would actually cure the fault, as a function of how
+// many crowd records the learner had absorbed at decision time.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "obs/trace.h"
+#include "seed/verdict.h"
+
+namespace seed::eval {
+
+/// One row of the confusion matrix (a true cause family).
+struct FamilyScore {
+  std::uint64_t injected = 0;   // labeled injections of this family
+  std::uint64_t diagnosed = 0;  // of those, labels with >= 1 verdict
+  std::uint64_t correct = 0;    // first verdict predicted this family
+  /// Predicted-family counts for this true family; index 0 (kNone)
+  /// collects both undiagnosed labels and unmappable verdicts.
+  std::array<std::uint64_t, core::kCauseFamilyCount> predicted{};
+};
+
+/// One point of the learner convergence curve: all custom-cause
+/// decisions made with exactly `records` crowd records absorbed.
+struct CurvePoint {
+  std::uint32_t records = 0;     // learner depth at decision time
+  std::uint64_t decisions = 0;   // decisions made at this depth
+  std::uint64_t correct = 0;     // of those, curing-action suggestions
+  std::uint64_t cum_decisions = 0;
+  std::uint64_t cum_correct = 0;
+  double cum_accuracy = 0.0;     // cum_correct / cum_decisions
+};
+
+struct AccuracyReport {
+  std::array<FamilyScore, core::kCauseFamilyCount> families{};
+  std::uint64_t labels = 0;      // distinct labeled injections
+  std::uint64_t diagnosed = 0;
+  std::uint64_t correct = 0;
+  std::uint64_t verdicts_total = 0;
+  std::uint64_t verdicts_unattributed = 0;  // unlabeled / unknown label
+  std::vector<CurvePoint> curve;  // ascending by `records`
+
+  double overall_accuracy() const {
+    return labels == 0 ? 0.0
+                       : static_cast<double>(correct) /
+                             static_cast<double>(labels);
+  }
+  /// Precision for predicted family f: correct_f / all predictions of f.
+  double precision(core::CauseFamily f) const;
+  /// Recall for true family f: correct_f / injected_f.
+  double recall(core::CauseFamily f) const;
+  /// Final cumulative accuracy of the convergence curve (0 if empty).
+  double curve_final_accuracy() const {
+    return curve.empty() ? 0.0 : curve.back().cum_accuracy;
+  }
+};
+
+/// True when `action` (proto::ResetAction code) cures the testbed's
+/// custom fault on `plane` (0 = control, 1 = data): CP custom faults are
+/// cured by fresh-identity registrations (A1/B1/B2), DP custom faults
+/// additionally by the make-before-break data-plane resets (A3/B3).
+bool action_cures_custom(std::uint8_t plane, std::uint8_t action);
+
+/// Scores a trace stream (live capture or JSONL import).
+AccuracyReport score(const std::vector<obs::Event>& events);
+
+/// Cumulative curve accuracy sampled at the 25/50/75/100% points of the
+/// curve (by point index; 0s when the curve is empty).
+std::array<double, 4> curve_quartiles(const AccuracyReport& report);
+
+/// True when every sampled quartile of `report`'s curve lies within
+/// `tolerance` of the expected value — the convergence band gate.
+bool curve_within_band(const AccuracyReport& report,
+                       const std::array<double, 4>& expected,
+                       double tolerance);
+
+/// Deterministic JSON rendering (committed as BENCH_accuracy.json).
+void write_json(std::ostream& os, const AccuracyReport& report);
+
+/// Human-readable confusion matrix + curve (trace_summary --accuracy).
+void print_text(std::ostream& os, const AccuracyReport& report);
+
+}  // namespace seed::eval

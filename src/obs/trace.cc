@@ -13,7 +13,7 @@
 namespace seed::obs {
 namespace {
 
-constexpr std::array<std::string_view, 22> kKindNames = {
+constexpr std::array<std::string_view, 24> kKindNames = {
     "failure_injected", "failure_detected",   "diagnosis_made",
     "reset_issued",     "reset_completed",    "recovered",
     "collab_downlink",  "collab_uplink",      "conflict_suppressed",
@@ -21,7 +21,8 @@ constexpr std::array<std::string_view, 22> kKindNames = {
     "action_retry",     "tier_escalated",     "watchdog_fired",
     "degraded",         "cache_lookup",       "terminal_failure",
     "slo_alert",        "decode_rejected",    "peer_quarantined",
-    "suspect_report_dropped",
+    "suspect_report_dropped",                 "ground_truth",
+    "diagnosis_verdict",
 };
 
 constexpr std::array<std::string_view, 6> kOriginNames = {
@@ -340,6 +341,7 @@ void Tracer::record_now(Event e) {
   if (e.span == 0) e.span = active_span_;
   e.at_us = now_ ? now_->time_since_epoch().count() : 0;
   if (e.ue == 0 && ue_source_ != nullptr) e.ue = *ue_source_;
+  if (e.label == 0 && label_source_ != nullptr) e.label = *label_source_;
   if (e.action != 0 && e.tier == 0) e.tier = tier_of_action(e.action);
   e.seq = next_seq_++;
   if (e.span != 0) {
@@ -382,6 +384,7 @@ void export_event_jsonl(std::ostream& os, const Event& e) {
   if (e.seq != 0) os << ",\"seq\":" << e.seq;
   if (e.parent != 0) os << ",\"parent\":" << e.parent;
   if (e.ue != 0) os << ",\"ue\":" << e.ue;
+  if (e.label != 0) os << ",\"label\":" << e.label;
   if (!e.detail.empty()) {
     os << ",\"detail\":\"";
     write_escaped(os, e.detail);
@@ -443,6 +446,8 @@ std::vector<Event> Tracer::import_jsonl(std::istream& is,
     if (const auto v = num_field(line, "trans_ms")) e.trans_ms = *v;
     if (const auto v = num_field(line, "ue"))
       e.ue = static_cast<std::uint32_t>(*v);
+    if (const auto v = num_field(line, "label"))
+      e.label = static_cast<std::uint32_t>(*v);
     if (auto d = str_field(line, "detail")) e.detail = std::move(*d);
     if (stats != nullptr) ++stats->records;
     out.push_back(std::move(e));
@@ -516,6 +521,8 @@ std::vector<SpanSummary> Tracer::assemble(std::vector<Event> events) {
       case EventKind::kSuspectReportDropped:
         ++s.suspect_reports_dropped;
         break;
+      case EventKind::kGroundTruthLabel: ++s.ground_truth_labels; break;
+      case EventKind::kDiagnosisVerdict: ++s.verdicts; break;
       case EventKind::kLog: break;
     }
   }
@@ -577,6 +584,8 @@ void Tracer::print_summary(std::ostream& os,
     if (s.suspect_reports_dropped) {
       os << "  suspect_dropped=" << s.suspect_reports_dropped;
     }
+    if (s.ground_truth_labels) os << "  labels=" << s.ground_truth_labels;
+    if (s.verdicts) os << "  verdicts=" << s.verdicts;
     os << "\n";
   }
 }

@@ -59,6 +59,10 @@ enum class EventKind : std::uint8_t {
   kPeerQuarantined,  // a peer entered/extended its mute window
                      // (cause = strike count)
   kSuspectReportDropped,  // learning-path update rejected as untrusted
+  // Ground-truth evaluation events (appended, same stability rule).
+  kGroundTruthLabel,   // labeled injection (cause = cause-family code)
+  kDiagnosisVerdict,   // Fig. 8 / plan decision outcome
+                       // (detail = "<kind>/<provenance>")
 };
 
 /// Which vantage point emitted the event (the same failure is seen by the
@@ -101,6 +105,12 @@ struct Event {
   /// single-UE / unattributed steady state). Stamped automatically from
   /// the simulator's context tag when a source is set.
   std::uint32_t ue = 0;
+  /// Ground-truth label in labeled-scenario experiments (cause family in
+  /// the high byte, injection ordinal below; 0 = unlabeled). Stamped
+  /// automatically from the simulator's context label when a source is
+  /// set, so verdicts inherit the label of the injection that caused
+  /// them with zero per-layer plumbing.
+  std::uint32_t label = 0;
   Origin origin = Origin::kNone;
   std::uint8_t plane = 0;   // 0 = control, 1 = data
   std::uint8_t cause = 0;   // standardized or customized cause code
@@ -153,6 +163,8 @@ struct SpanSummary {
   std::uint64_t decode_rejects = 0;
   std::uint64_t peer_quarantines = 0;
   std::uint64_t suspect_reports_dropped = 0;
+  std::uint64_t ground_truth_labels = 0;
+  std::uint64_t verdicts = 0;
 
   std::optional<double> detect_ms() const { return delta(detected_us); }
   std::optional<double> diagnose_ms() const { return delta(diagnosed_us); }
@@ -218,6 +230,13 @@ class Tracer {
   /// Simulator::current_tag_ref); recorded events whose `ue` is 0 are
   /// stamped with the tag's current value. Pass nullptr to detach.
   void set_ue_source(const std::uint32_t* tag) { ue_source_ = tag; }
+
+  /// Points the tracer at the simulator's ground-truth label cell (see
+  /// Simulator::current_label_ref); recorded events whose `label` is 0
+  /// are stamped with the cell's current value. Pass nullptr to detach.
+  void set_label_source(const std::uint32_t* label) {
+    label_source_ = label;
+  }
 
   /// Opens a new failure span and makes it the active one. Events
   /// recorded without an explicit span attach to the active span.
@@ -302,6 +321,7 @@ class Tracer {
   bool enabled_ = false;
   const sim::TimePoint* now_ = nullptr;
   const std::uint32_t* ue_source_ = nullptr;
+  const std::uint32_t* label_source_ = nullptr;
   SpanId next_span_ = 1;
   std::uint64_t next_seq_ = 1;
   SpanId active_span_ = 0;

@@ -2,6 +2,7 @@
 
 #include "obs/prof.h"
 #include "obs/trace.h"
+#include "seed/verdict.h"
 #include "simcore/log.h"
 
 namespace seed::core {
@@ -81,10 +82,26 @@ AssistAdvice classify_failure_impl(const FailureEvent& event,
   return advice;
 }
 
+VerdictKind verdict_kind_of(AssistKind kind) {
+  switch (kind) {
+    case AssistKind::kStandardCause: return VerdictKind::kStandardCause;
+    case AssistKind::kCauseWithConfig: return VerdictKind::kCauseWithConfig;
+    case AssistKind::kSuggestedAction: return VerdictKind::kSuggestedAction;
+    case AssistKind::kCustomCauseNoAction:
+      return VerdictKind::kCustomNoAction;
+    case AssistKind::kCongestionWarning:
+      return VerdictKind::kCongestionWarning;
+    case AssistKind::kHardwareResetRequest:
+      return VerdictKind::kHardwareReset;
+  }
+  return VerdictKind::kNone;
+}
+
 // Shared by the tree and the cache-hit path so both produce the same
 // log line and trace event — a cached diagnosis is observably identical
-// to a computed one.
-void log_and_emit(const AssistAdvice& advice) {
+// to a computed one (its verdict differs only in provenance).
+void log_and_emit(const AssistAdvice& advice, VerdictSource source,
+                  const FailureEvent& event, const NetRecord* learner) {
   if (advice.diag) {
     SLOG(kDebug, "infra") << "diagnosis for cause #" << int(advice.diag->cause)
                           << (advice.diag->config ? " + config" : "");
@@ -94,9 +111,44 @@ void log_and_emit(const AssistAdvice& advice) {
         advice.diag->suggested
             ? static_cast<std::uint8_t>(*advice.diag->suggested)
             : 0);
+    if (obs::enabled()) {
+      DiagnosisVerdict v;
+      v.plane = static_cast<std::uint8_t>(advice.diag->plane);
+      v.cause = advice.diag->cause;
+      v.kind = verdict_kind_of(advice.diag->kind);
+      v.source = source;
+      v.action = advice.diag->suggested
+                     ? static_cast<std::uint8_t>(*advice.diag->suggested)
+                     : 0;
+      if (event.congested ||
+          v.kind == VerdictKind::kCongestionWarning) {
+        v.wait_s = event.congestion_wait_s;
+      }
+      // A suggested action for a custom cause with no operator mapping
+      // can only have come from the crowd-sourced learner; record the
+      // model depth that backed it (the convergence curve's x-axis).
+      // This branch is never cached (cacheable() bypasses it), so cached
+      // and uncached runs agree on learner_records too.
+      if (source == VerdictSource::kTree && learner != nullptr &&
+          event.network_initiated && event.standardized_cause == 0 &&
+          !event.custom_action) {
+        if (v.kind == VerdictKind::kSuggestedAction) {
+          v.source = VerdictSource::kLearner;
+        }
+        v.learner_records = learner->record_count(event.custom_cause);
+      }
+      emit_verdict(v);
+    }
   } else if (advice.trigger_dplane_reset) {
     SLOG(kDebug, "infra") << "delivery report -> network d-plane reset";
     obs::emit_diagnosis(obs::Origin::kInfra, 1, 0, 0);
+    if (obs::enabled()) {
+      DiagnosisVerdict v;
+      v.plane = 1;
+      v.kind = VerdictKind::kDplaneReset;
+      v.source = source;
+      emit_verdict(v);
+    }
   }
 }
 }  // namespace
@@ -104,7 +156,7 @@ void log_and_emit(const AssistAdvice& advice) {
 AssistAdvice classify_failure(const FailureEvent& event, NetRecord* learner,
                               sim::Rng& rng) {
   AssistAdvice advice = classify_failure_impl(event, learner, rng);
-  log_and_emit(advice);
+  log_and_emit(advice, VerdictSource::kTree, event, learner);
   return advice;
 }
 
@@ -194,7 +246,7 @@ AssistAdvice classify_failure_cached(const FailureEvent& event,
   if (const AssistAdvice* hit = cache->lookup(event)) {
     obs::emit_cache_lookup(true, static_cast<std::uint8_t>(event.plane),
                            event.standardized_cause);
-    log_and_emit(*hit);
+    log_and_emit(*hit, VerdictSource::kCache, event, learner);
     return *hit;
   }
   obs::emit_cache_lookup(false, static_cast<std::uint8_t>(event.plane),

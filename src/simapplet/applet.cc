@@ -7,6 +7,7 @@
 #include "common/params.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
+#include "seed/verdict.h"
 #include "simcore/log.h"
 
 namespace seed::applet {
@@ -16,6 +17,20 @@ constexpr std::uint8_t kSeedBearer = 7;
 // Emulated footprint of the applet code itself (the paper's applet is
 // 1244 lines of Java; Javacard bytecode ~30 KB installed).
 constexpr std::size_t kAppletCodeBytes = 30 * 1024;
+
+// A SIM-local delivery plan is a diagnosis in its own right (SEED-U, or
+// SEED-R degraded off the collab uplink): record what the SIM decided.
+void emit_local_plan_verdict(const core::HandlingPlan& plan) {
+  if (!obs::enabled()) return;
+  core::DiagnosisVerdict v;
+  v.plane = 1;
+  v.kind = core::VerdictKind::kLocalPlan;
+  v.source = core::VerdictSource::kSim;
+  v.action = plan.actions.empty()
+                 ? 0
+                 : static_cast<std::uint8_t>(plan.actions.front());
+  core::emit_verdict(v);
+}
 }  // namespace
 
 SeedApplet::SeedApplet(sim::Simulator& sim, sim::Rng& rng,
@@ -466,6 +481,7 @@ void SeedApplet::report_failure(const proto::FailureReport& report) {
     return;
   }
   core::HandlingPlan plan = core::decide_for_report(report, mode_);
+  emit_local_plan_verdict(plan);
   execute_plan(std::move(plan), 0);
 }
 
@@ -509,6 +525,7 @@ void SeedApplet::send_report_uplink(const proto::FailureReport& report) {
           SLOG(kWarn, "applet") << "collab uplink declared dead";
         }
         core::HandlingPlan plan = core::decide_for_report(report, mode_);
+        emit_local_plan_verdict(plan);
         execute_plan(std::move(plan), 0);
         return;
       }

@@ -22,6 +22,7 @@ TimerId Simulator::schedule_at(TimePoint t, Callback cb) {
   s.at = t;
   s.seq = seq_++;
   s.tag = current_tag_;
+  s.label = current_label_;
   s.live = true;
   heap_.push_back(HeapKey{t, s.seq, slot});
   std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
@@ -74,6 +75,7 @@ bool Simulator::pop_one() {
   heap_.pop_back();
   Callback cb = std::move(slab_[top.slot].cb);
   const std::uint32_t tag = slab_[top.slot].tag;
+  const std::uint32_t label = slab_[top.slot].label;
   release(top.slot);
   now_ = top.at;
   ++processed_;
@@ -84,6 +86,7 @@ bool Simulator::pop_one() {
     probe_(live_count_, processed_);
   }
   current_tag_ = tag;
+  current_label_ = label;
   {
     // Event dispatch is the root zone: every instrumented path that runs
     // inside a callback (codec, crypto, collab, cache) nests under it, so
@@ -92,6 +95,7 @@ bool Simulator::pop_one() {
     cb();
   }
   current_tag_ = 0;
+  current_label_ = 0;
   return true;
 }
 

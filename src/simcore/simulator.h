@@ -107,20 +107,45 @@ class Simulator {
   /// must not depend on the simulator's type.
   const std::uint32_t* current_tag_ref() const { return &current_tag_; }
 
-  /// RAII tag scope for root actions.
+  // ----- context label (ground-truth attribution in labeled scenarios)
+  //
+  // A second 32-bit cell with the same propagation semantics as the tag:
+  // captured at schedule time, restored around the callback. Carries a
+  // machine-readable ground-truth label (cause family + injection
+  // ordinal) from the point a failure is injected through every event it
+  // transitively causes, so the tracer can join diagnosis verdicts back
+  // to the injection that provoked them. Label 0 means "unlabeled".
+  std::uint32_t current_label() const { return current_label_; }
+  void set_current_label(std::uint32_t label) { current_label_ = label; }
+  const std::uint32_t* current_label_ref() const { return &current_label_; }
+
+  /// RAII tag scope for root actions. The three-argument form also sets
+  /// the ground-truth label for the scope; the two-argument form leaves
+  /// the label untouched (nested scopes re-tag without clearing labels).
   class TagScope {
    public:
     TagScope(Simulator& sim, std::uint32_t tag)
-        : sim_(sim), prev_(sim.current_tag()) {
+        : sim_(sim), prev_(sim.current_tag()),
+          prev_label_(sim.current_label()) {
       sim_.set_current_tag(tag);
     }
-    ~TagScope() { sim_.set_current_tag(prev_); }
+    TagScope(Simulator& sim, std::uint32_t tag, std::uint32_t label)
+        : sim_(sim), prev_(sim.current_tag()),
+          prev_label_(sim.current_label()) {
+      sim_.set_current_tag(tag);
+      sim_.set_current_label(label);
+    }
+    ~TagScope() {
+      sim_.set_current_tag(prev_);
+      sim_.set_current_label(prev_label_);
+    }
     TagScope(const TagScope&) = delete;
     TagScope& operator=(const TagScope&) = delete;
 
    private:
     Simulator& sim_;
     std::uint32_t prev_;
+    std::uint32_t prev_label_;
   };
 
  private:
@@ -130,6 +155,7 @@ class Simulator {
     std::uint64_t seq = 0;       // schedule sequence; globally unique
     std::uint32_t gen = 0;       // bumped on release; part of the TimerId
     std::uint32_t tag = 0;       // context tag captured at schedule time
+    std::uint32_t label = 0;     // ground-truth label captured alongside
     bool live = false;
   };
 
@@ -190,6 +216,7 @@ class Simulator {
 
   TimePoint now_ = kTimeZero;
   std::uint32_t current_tag_ = 0;
+  std::uint32_t current_label_ = 0;
   std::uint64_t seq_ = 0;
   bool stopped_ = false;
   std::uint64_t processed_ = 0;

@@ -36,6 +36,10 @@ MultiTestbed::MultiTestbed(std::uint64_t seed, const MultiOptions& opts)
   // which TagScope sets around every root action below and schedule_at
   // propagates through the whole event cascade.
   obs::Tracer::instance().set_ue_source(sim_.current_tag_ref());
+  // Ground-truth attribution rides the same mechanism: LabeledScenarioGen
+  // seeds the simulator's label cell per injection, and the tracer stamps
+  // it into every event of the cascade.
+  obs::Tracer::instance().set_label_source(sim_.current_label_ref());
   obs::observe_simulator(sim_);
 
   slots_.resize(opts.ue_count);
@@ -80,6 +84,7 @@ MultiTestbed::MultiTestbed(std::uint64_t seed, const MultiOptions& opts)
 MultiTestbed::~MultiTestbed() {
   // The tracer outlives this harness; never leave it a dangling tag ptr.
   obs::Tracer::instance().set_ue_source(nullptr);
+  obs::Tracer::instance().set_label_source(nullptr);
 }
 
 void MultiTestbed::bring_up_all(sim::Duration deadline) {

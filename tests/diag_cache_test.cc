@@ -11,9 +11,13 @@
 #include "corenet/subscriber.h"
 #include "nas/causes.h"
 #include "nas/ie.h"
+#include "obs/trace.h"
 #include "seed/infra_assist.h"
 #include "seed/online_learning.h"
+#include "seed/verdict.h"
 #include "simcore/rng.h"
+#include "testbed/labeled_scenarios.h"
+#include "testbed/multi_testbed.h"
 #include "testbed/testbed.h"
 
 namespace seed::core {
@@ -210,6 +214,86 @@ TEST(DiagCacheProperty, CoreInvalidatesOnSubscriberMutation) {
   ASSERT_NE(cache, nullptr);
   EXPECT_GT(cache->stats().hits + cache->stats().misses, 0u);
   EXPECT_GE(cache->stats().invalidations, 1u);
+}
+
+// --------------------------- cache correctness under ground-truth labels
+
+/// A verdict minus its provenance: everything the diagnosis *decided*.
+struct DecidedVerdict {
+  std::uint32_t label;
+  std::uint8_t plane;
+  std::uint8_t cause;
+  VerdictKind kind;
+  std::uint8_t action;
+  std::uint16_t wait_s;
+  std::uint32_t learner_records;
+
+  bool operator==(const DecidedVerdict&) const = default;
+};
+
+/// Runs the full labeled scenario pack on a fleet and returns the
+/// ordered verdict stream as (decision, provenance) pairs.
+std::vector<std::pair<DecidedVerdict, VerdictSource>> labeled_pack_verdicts(
+    bool cache_on) {
+  obs::Tracer& tracer = obs::Tracer::instance();
+  tracer.clear();
+  tracer.reset_span_counter();
+  tracer.enable(true);
+
+  testbed::MultiOptions o;
+  o.ue_count = testbed::LabeledScenarioGen::all_families().size();
+  o.scheme = testbed::Scheme::kSeedU;
+  o.seed_r_every = 1;  // all SEED-R
+  o.diag_cache = cache_on;
+  {
+    testbed::MultiTestbed bed(777, o);
+    bed.bring_up_all();
+    testbed::LabeledScenarioGen gen(bed);
+    testbed::LabeledScenarioGen::PackOptions pack;
+    pack.rounds = 2;
+    gen.run_pack(pack);
+  }
+  std::vector<obs::Event> events = tracer.events();
+  tracer.enable(false);
+  tracer.clear();
+
+  std::vector<std::pair<DecidedVerdict, VerdictSource>> out;
+  for (const obs::Event& e : events) {
+    if (const auto v = verdict_from_event(e)) {
+      out.emplace_back(
+          DecidedVerdict{e.label, v->plane, v->cause, v->kind, v->action,
+                         v->wait_s, v->learner_records},
+          v->source);
+    }
+  }
+  return out;
+}
+
+/// §5.2's amortization contract, checked over the whole labeled pack: a
+/// cached diagnosis must be *observably identical* to the uncached one —
+/// same labels, same decisions, same order — differing at most in the
+/// tree -> cache provenance token. Learner-consulting decisions always
+/// bypass the cache, so even learner_records agrees event for event.
+TEST(DiagCacheLabeled, CachedAndUncachedVerdictStreamsMatch) {
+  const auto cached = labeled_pack_verdicts(/*cache_on=*/true);
+  const auto uncached = labeled_pack_verdicts(/*cache_on=*/false);
+  ASSERT_GT(cached.size(), 0u);
+  ASSERT_EQ(cached.size(), uncached.size());
+
+  std::size_t cache_provenance = 0;
+  for (std::size_t i = 0; i < cached.size(); ++i) {
+    ASSERT_EQ(cached[i].first, uncached[i].first) << "verdict " << i;
+    if (cached[i].second != uncached[i].second) {
+      // The only provenance drift allowed: a cache replay of a tree
+      // decision. Anything else (learner/report/sim flips) is a bug.
+      EXPECT_EQ(cached[i].second, VerdictSource::kCache) << "verdict " << i;
+      EXPECT_EQ(uncached[i].second, VerdictSource::kTree) << "verdict " << i;
+      ++cache_provenance;
+    }
+  }
+  // The pack repeats failure shapes (rounds = 2 + the shared bring-up
+  // population), so the cache must actually replay something.
+  EXPECT_GT(cache_provenance, 0u);
 }
 
 }  // namespace

@@ -16,7 +16,10 @@
 #include <vector>
 
 #include "chaos/chaos.h"
+#include "eval/accuracy.h"
 #include "obs/trace.h"
+#include "testbed/labeled_scenarios.h"
+#include "testbed/multi_testbed.h"
 #include "testbed/testbed.h"
 
 #ifndef SEED_GOLDEN_DIR
@@ -64,13 +67,14 @@ struct Structural {
   std::uint8_t tier;
   bool ok;
   std::uint32_t ue;
+  std::uint32_t label;
 
   bool operator==(const Structural&) const = default;
 };
 
 Structural project(const obs::Event& e) {
   return Structural{e.span,   e.kind, e.origin, e.plane, e.cause,
-                    e.action, e.tier, e.ok,     e.ue};
+                    e.action, e.tier, e.ok,     e.ue,    e.label};
 }
 
 std::string render(const Structural& s) {
@@ -81,7 +85,7 @@ std::string render(const Structural& s) {
      << " cause=" << static_cast<int>(s.cause)
      << " action=" << obs::action_code_name(s.action)
      << " tier=" << obs::tier_name(s.tier) << " ok=" << s.ok
-     << " ue=" << s.ue;
+     << " ue=" << s.ue << " label=" << s.label;
   return os.str();
 }
 
@@ -233,6 +237,30 @@ std::vector<obs::Event> run_adversarial_quarantine() {
   return tracer.events();
 }
 
+/// Scenario 6 — a known, pinned misdiagnosis: a SEED-U UE hit by a
+/// network-side TCP policy block. The applet cannot see the infra's
+/// policy table, so its local plan answers with the generic d-plane
+/// reset — which amounts to claiming "stale session", not "policy
+/// block". The golden freezes the whole labeled lifecycle (injection,
+/// ground-truth event, report, wrong verdict) so any change to how this
+/// failure is (mis)diagnosed shows up as a structural diff.
+std::vector<obs::Event> run_labeled_misdiagnosis() {
+  testbed::MultiOptions o;
+  o.ue_count = 2;
+  o.scheme = Scheme::kSeedU;
+  o.seed_r_every = 0;  // all SEED-U: reports never travel the uplink
+  testbed::MultiTestbed bed(42, o);
+  bed.bring_up_all();
+  // Clear the §4.4.2 conflict window left by the bring-up assist, or the
+  // delivery report would be suppressed instead of (mis)diagnosed.
+  bed.simulator().run_for(sim::seconds(10));
+  ScopedTracer tracer;
+  testbed::LabeledScenarioGen gen(bed);
+  gen.inject(core::CauseFamily::kPolicyBlock, 0);
+  bed.simulator().run_for(sim::seconds(30));
+  return tracer.events();
+}
+
 // -------------------------------------------------------------- tests
 
 TEST(GoldenTrace, Quickstart) {
@@ -268,6 +296,23 @@ TEST(GoldenTrace, AdversarialQuarantine) {
   EXPECT_GE(resets, 1u);
   EXPECT_TRUE(recovered);
   check_against_golden("adversarial_quarantine", events);
+}
+
+TEST(GoldenTrace, LabeledMisdiagnosis) {
+  const std::vector<obs::Event> events = run_labeled_misdiagnosis();
+  // Before pinning bytes, assert the semantics the golden exists to
+  // freeze: exactly one labeled injection, diagnosed but *wrong* — the
+  // local plan claims a stale session where the truth is a policy block.
+  const eval::AccuracyReport r = eval::score(events);
+  ASSERT_EQ(r.labels, 1u);
+  EXPECT_EQ(r.correct, 0u);
+  const auto& row =
+      r.families[static_cast<std::size_t>(core::CauseFamily::kPolicyBlock)];
+  EXPECT_EQ(row.diagnosed, 1u);
+  EXPECT_EQ(
+      row.predicted[static_cast<std::size_t>(core::CauseFamily::kStaleSession)],
+      1u);
+  check_against_golden("labeled_misdiagnosis", events);
 }
 
 /// Acceptance: every reset in the fig13 lifecycle trace reconstructs
