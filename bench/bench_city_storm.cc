@@ -31,6 +31,7 @@
 #include "obs/prof.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
+#include "testbed/city_workload.h"
 #include "testbed/multi_testbed.h"
 #include "testbed/profile_workload.h"
 
@@ -160,21 +161,25 @@ int main(int argc, char** argv) {
             << cache_entries << " entries)\n";
 
   // Deterministic output only (counters, no wall-clock): same seed ->
-  // byte-identical BENCH_city.json.
-  std::ofstream json("BENCH_city.json", std::ios::trunc);
-  json << "{\"bench\":\"city_storm\",\"ues\":" << n_ues
-       << ",\"seed\":" << seed << ",\"storm_min\":" << storm_min
-       << ",\"injections\":" << injections << ",\"sim_events\":" << events
-       << ",\"healthy\":" << healthy << ",\"nas_rx\":" << cs.nas_rx
-       << ",\"nas_tx\":" << cs.nas_tx << ",\"rejects\":" << cs.rejects_sent
-       << ",\"diag_downlinks\":" << cs.diag_downlinks
-       << ",\"diag_reports_rx\":" << cs.diag_reports_rx
-       << ",\"cache\":{\"enabled\":" << (cache_on ? "true" : "false")
-       << ",\"hits\":" << hits << ",\"misses\":" << misses
-       << ",\"bypasses\":" << bypasses
-       << ",\"invalidations\":" << invalidations << ",\"entries\":"
-       << cache_entries << "}}\n";
-  std::cout << "wrote BENCH_city.json\n";
+  // byte-identical BENCH_city.json. The 1k-storm fields are buffered
+  // here and the file is written at the end, once the sampled 10k-UE
+  // section has run (that run reuses this thread's tracer as its merge
+  // accumulator, so it must come after the --trace dump).
+  std::ostringstream city_json;
+  city_json << "{\"bench\":\"city_storm\",\"ues\":" << n_ues
+            << ",\"seed\":" << seed << ",\"storm_min\":" << storm_min
+            << ",\"injections\":" << injections
+            << ",\"sim_events\":" << events
+            << ",\"healthy\":" << healthy << ",\"nas_rx\":" << cs.nas_rx
+            << ",\"nas_tx\":" << cs.nas_tx
+            << ",\"rejects\":" << cs.rejects_sent
+            << ",\"diag_downlinks\":" << cs.diag_downlinks
+            << ",\"diag_reports_rx\":" << cs.diag_reports_rx
+            << ",\"cache\":{\"enabled\":" << (cache_on ? "true" : "false")
+            << ",\"hits\":" << hits << ",\"misses\":" << misses
+            << ",\"bypasses\":" << bypasses
+            << ",\"invalidations\":" << invalidations << ",\"entries\":"
+            << cache_entries << "}";
 
   // Wall-clock throughput sidecar for the perf gate (uncommitted: the
   // number is host-dependent; BENCH_city.json stays deterministic).
@@ -212,21 +217,33 @@ int main(int argc, char** argv) {
   // BENCH_profile.json holds only deterministic counters and is
   // byte-identical for ANY --threads value; wall times go to the
   // uncommitted *_full sidecar.
+  const std::size_t workers = benchutil::fleet_threads(argc, argv);
   {
-    const std::size_t workers = benchutil::fleet_threads(argc, argv);
     const testbed::ProfileWorkload pw;
-    const auto rows = testbed::run_profile_workload(pw, workers);
-    std::ofstream prof_json("BENCH_profile.json", std::ios::trunc);
-    obs::dump_prof_json(prof_json, "profile_fleet", rows,
+    const auto prun = testbed::run_profile_workload(pw, workers);
+    // Splice the shards' tail-retention trace budget in as a sibling of
+    // "profile": drop dump_prof_json's closing "}\n", append "trace".
+    std::ostringstream prof_buf;
+    obs::dump_prof_json(prof_buf, "profile_fleet", prun.rows,
                         /*include_times=*/false);
+    std::string prof_doc = std::move(prof_buf).str();
+    while (!prof_doc.empty() && prof_doc.back() == '\n') prof_doc.pop_back();
+    if (!prof_doc.empty() && prof_doc.back() == '}') prof_doc.pop_back();
+    std::ofstream prof_json("BENCH_profile.json", std::ios::trunc);
+    prof_json << prof_doc << ",\"trace\":{\"bytes_total\":"
+              << prun.trace.bytes_retained
+              << ",\"events_retained\":" << prun.trace.events_retained
+              << ",\"events_aged_out\":" << prun.trace.events_aged_out
+              << ",\"ues_retained\":" << prun.trace.ues_retained << "}}\n";
     std::ofstream prof_full("BENCH_profile_full.json", std::ios::trunc);
-    obs::dump_prof_json(prof_full, "profile_fleet", rows,
+    obs::dump_prof_json(prof_full, "profile_fleet", prun.rows,
                         /*include_times=*/true);
     std::uint64_t zone_calls = 0;
-    for (const auto& r : rows) zone_calls += r.stats.calls;
-    std::cout << "wrote BENCH_profile.json (" << rows.size() << " zones, "
-              << zone_calls << " zone entries; times in "
-              << "BENCH_profile_full.json)\n";
+    for (const auto& r : prun.rows) zone_calls += r.stats.calls;
+    std::cout << "wrote BENCH_profile.json (" << prun.rows.size()
+              << " zones, " << zone_calls << " zone entries, "
+              << prun.trace.bytes_retained << " trace bytes retained; "
+              << "times in BENCH_profile_full.json)\n";
   }
 
   if (blackbox_path != nullptr) {
@@ -241,5 +258,48 @@ int main(int argc, char** argv) {
   }
   obs::Tracer::instance().remove_observer(&health);
   obs::Tracer::instance().remove_observer(&recorder);
+
+  // ---- the metro-scale proof: the 10k-UE sharded storm under
+  // tail-based retention. Deterministic for any worker count (shard
+  // captures merge in shard order), so the whole section commits into
+  // BENCH_city.json next to the 1k counters, which stay untouched.
+  {
+    const testbed::CityWorkload cw;
+    const auto total_ues =
+        static_cast<std::uint64_t>(cw.shards * cw.ues_per_shard);
+    std::cout << "sampled city storm: " << total_ues << " UEs across "
+              << cw.shards << " shards (ring depth " << cw.ring_depth
+              << ")...\n";
+    const testbed::CityRun cr = testbed::run_city_workload(cw, workers);
+    const std::uint64_t bytes_per_ue =
+        cr.retention.bytes_retained / total_ues;
+    std::cout << "  " << cr.injections << " injections, " << cr.sim_events
+              << " simulated events, " << cr.healthy << "/" << total_ues
+              << " healthy\n"
+              << "  retained " << cr.retention.events_retained
+              << " events (" << cr.retention.bytes_retained
+              << " TLV bytes, " << bytes_per_ue << " bytes/UE), aged out "
+              << cr.retention.events_aged_out << ", "
+              << cr.retention.ues_retained << " UEs promoted\n";
+    city_json << ",\"sampled10k\":{\"ues\":" << total_ues
+              << ",\"shards\":" << cw.shards
+              << ",\"storm_min\":" << cw.storm_min
+              << ",\"ring_depth\":" << cw.ring_depth
+              << ",\"injections\":" << cr.injections
+              << ",\"sim_events\":" << cr.sim_events
+              << ",\"healthy\":" << cr.healthy
+              << ",\"diag_reports_rx\":" << cr.diag_reports_rx
+              << ",\"terminal_failures\":" << cr.terminal_failures
+              << ",\"alert_transitions\":" << cr.alert_transitions
+              << ",\"events_retained\":" << cr.retention.events_retained
+              << ",\"events_aged_out\":" << cr.retention.events_aged_out
+              << ",\"ues_retained\":" << cr.retention.ues_retained
+              << ",\"trace_bytes_total\":" << cr.retention.bytes_retained
+              << ",\"trace_bytes_per_ue\":" << bytes_per_ue << "}";
+  }
+
+  std::ofstream json("BENCH_city.json", std::ios::trunc);
+  json << city_json.str() << "}\n";
+  std::cout << "wrote BENCH_city.json\n";
   return 0;
 }

@@ -9,6 +9,8 @@
 //   ./build/examples/trace_summary --demo                   # generate one
 //   ./build/examples/trace_summary --prof BENCH_profile.json # zone report
 //   ./build/examples/trace_summary --accuracy labeled.jsonl # accuracy view
+//   ./build/examples/trace_summary --to-binary t.jsonl > t.bin # encode TLV
+//   ./build/examples/trace_summary --convert t.bin > t.jsonl   # decode TLV
 //
 // --accuracy joins kGroundTruthLabel events (labeled scenario packs) to
 // the kDiagnosisVerdict stream and prints the per-cause confusion
@@ -22,6 +24,15 @@
 // damage) are skipped and counted; any skipped line makes the exit code
 // 2 so scripts notice partial input, while the valid records still
 // render.
+//
+// Binary captures (Tracer::export_binary, "SEEDTRC" magic) are
+// auto-detected and decode through the same views; --convert re-emits a
+// binary capture as JSONL on stdout for golden-diff tooling, and
+// --to-binary encodes a JSONL trace as a binary capture on stdout (the
+// two compose into the CI round-trip check). Corrupt
+// binary input gets its own exit codes so scripts can triage: 3 = not a
+// binary capture (--convert only), 4 = unknown version, 5 = truncated,
+// 6 = over-length record, 7 = malformed record.
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
@@ -33,6 +44,7 @@
 #include "common/minijson.h"
 #include "eval/accuracy.h"
 #include "obs/trace.h"
+#include "obs/trace_binary.h"
 #include "testbed/testbed.h"
 
 namespace {
@@ -154,6 +166,27 @@ int prof_report(const char* path) {
   return 0;
 }
 
+/// Script-visible triage for corrupt binary captures (the binary twin of
+/// the JSONL empty=1/malformed=2 convention).
+int binary_exit(obs::BinaryError e) {
+  switch (e) {
+    case obs::BinaryError::kNone: return 0;
+    case obs::BinaryError::kBadMagic: return 3;
+    case obs::BinaryError::kBadVersion: return 4;
+    case obs::BinaryError::kTruncated: return 5;
+    case obs::BinaryError::kOverLength: return 6;
+    case obs::BinaryError::kMalformed: return 7;
+  }
+  return 7;
+}
+
+void report_binary_error(const char* what, const obs::BinaryStats& st) {
+  std::cerr << "trace_summary: " << what << ": "
+            << obs::binary_error_name(st.error)
+            << " at byte offset " << st.error_offset << " ("
+            << st.records << " event(s) decoded before the damage)\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -161,6 +194,8 @@ int main(int argc, char** argv) {
   bool demo = false;
   bool prof = false;
   bool accuracy = false;
+  bool convert = false;
+  bool to_binary = false;
   const char* path = nullptr;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -172,25 +207,74 @@ int main(int argc, char** argv) {
       prof = true;
     } else if (arg == "--accuracy") {
       accuracy = true;
+    } else if (arg == "--convert") {
+      convert = true;
+    } else if (arg == "--to-binary") {
+      to_binary = true;
     } else {
       path = argv[i];
     }
   }
   if (prof) return prof_report(path);
 
+  const char* what = path != nullptr ? path : "stdin";
   obs::ImportStats stats;
+  obs::BinaryStats bstats;
+  bool was_binary = false;
   std::vector<obs::Event> events;
   if (demo) {
     events = demo_events();
-  } else if (path != nullptr) {
-    std::ifstream in(path);
-    if (!in) {
-      std::cerr << "trace_summary: cannot open " << path << '\n';
-      return 1;
-    }
-    events = obs::Tracer::import_jsonl(in, &stats);
   } else {
-    events = obs::Tracer::import_jsonl(std::cin, &stats);
+    // Slurp the whole input (binary mode): format detection needs the
+    // leading magic, and binary captures cannot stream line-by-line.
+    std::string data;
+    if (path != nullptr) {
+      std::ifstream in(path, std::ios::binary);
+      if (!in) {
+        std::cerr << "trace_summary: cannot open " << path << '\n';
+        return 1;
+      }
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      data = std::move(buf).str();
+    } else {
+      std::ostringstream buf;
+      buf << std::cin.rdbuf();
+      data = std::move(buf).str();
+    }
+    was_binary = obs::looks_binary(data);
+    if (was_binary) {
+      events = obs::TraceReader::decode(data, &bstats);
+    } else if (convert) {
+      std::cerr << "trace_summary: " << what
+                << ": not a binary trace capture (no SEEDTRC magic); "
+                   "--convert takes Tracer::export_binary output\n";
+      return binary_exit(obs::BinaryError::kBadMagic);
+    } else {
+      std::istringstream in(data);
+      events = obs::Tracer::import_jsonl(in, &stats);
+      // Feed line totals back so the empty-input diagnostics below work
+      // on the slurped path too.
+    }
+  }
+
+  if (was_binary && bstats.error != obs::BinaryError::kNone) {
+    report_binary_error(what, bstats);
+    return binary_exit(bstats.error);
+  }
+  if (to_binary) {
+    obs::export_binary(std::cout, events);
+    std::cerr << "trace_summary: encoded " << events.size()
+              << " event(s) as a binary capture\n";
+    return stats.malformed != 0 ? 2 : 0;
+  }
+  if (convert) {
+    for (const obs::Event& e : events) {
+      obs::export_event_jsonl(std::cout, e);
+    }
+    std::cerr << "trace_summary: converted " << events.size()
+              << " event(s), " << bstats.strings << " interned string(s)\n";
+    return 0;
   }
 
   if (stats.malformed != 0) {

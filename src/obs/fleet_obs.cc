@@ -7,6 +7,13 @@ namespace seed::obs {
 void begin_shard_obs(bool traces, bool metrics, bool profile) {
   Tracer& t = Tracer::instance();
   t.clear();
+  // Workers are reused across shards: a previous shard's retention policy
+  // must not leak into one that never armed it, and the span/seq counters
+  // must restart so a shard's raw id space (absorb renumbers on merge,
+  // but the TLV byte budget sees the raw varint widths) is the same no
+  // matter how many shards this thread already processed.
+  t.clear_retention();
+  t.reset_span_counter();
   t.enable(traces);
   Registry& r = Registry::instance();
   r.clear();
@@ -19,13 +26,27 @@ void begin_shard_obs(bool traces, bool metrics, bool profile) {
 ShardObs end_shard_obs() {
   ShardObs out;
   Tracer& t = Tracer::instance();
+  Registry& r = Registry::instance();
+  // Close the sampled capture first: still-buffered healthy-UE events
+  // age out, and the final budget lands in the shard's Registry so the
+  // trace.* counters merge (sum) exactly like every other counter.
+  if (t.retention_active()) {
+    t.seal_retention();
+    out.retention = t.retention_stats();
+    if (r.enabled()) {
+      r.counter("trace.bytes_total").inc(out.retention.bytes_retained);
+      r.counter("trace.events_retained").inc(out.retention.events_retained);
+      r.counter("trace.events_aged_out").inc(out.retention.events_aged_out);
+      r.counter("trace.ues_retained").inc(out.retention.ues_retained);
+    }
+  }
   out.trace_events = t.events();
   t.enable(false);
   t.clear();
+  t.clear_retention();
   // Detach the clock: it usually points at a shard-owned Simulator that
   // dies with the shard body.
   t.set_clock(nullptr);
-  Registry& r = Registry::instance();
   out.metrics = r.snapshot();
   r.enable(false);
   r.clear();

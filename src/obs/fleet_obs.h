@@ -22,6 +22,10 @@ struct ShardObs {
   std::vector<Event> trace_events;
   Registry metrics;
   std::vector<ProfRow> profile;
+  /// Tail-retention budget (all-zero unless the shard body armed
+  /// Tracer::set_retention). Also published into `metrics` as the
+  /// trace.* counters, which sum across shards via merge_from.
+  RetentionStats retention;
 };
 
 /// Arms the calling thread's obs world for a shard: clears any state left

@@ -6,16 +6,15 @@ namespace seed::obs {
 
 void FlightRecorder::on_trace_event(const Event& e) {
   if (e.kind == EventKind::kLog || e.kind == EventKind::kSloAlert) return;
-  std::deque<Event>& ring = rings_[e.ue];
-  ring.push_back(e);
-  while (ring.size() > capacity_) ring.pop_front();
+  Ring<Event>& ring = rings_.try_emplace(e.ue, capacity_).first->second;
+  ring.push(e);  // eviction is the point: only the tail survives
   if (e.kind != EventKind::kTerminalFailure) return;
 
   BlackboxSnapshot box;
   box.ue = e.ue;
   box.at_us = e.at_us;
   box.reason = e.detail;
-  box.events.assign(ring.begin(), ring.end());
+  ring.append_to(box.events);
   blackboxes_.push_back(std::move(box));
   // The ring keeps rolling: a UE can die twice (watchdog terminal, then
   // a later ladder exhaustion) and each terminal gets its own blackbox.

@@ -12,12 +12,12 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <deque>
 #include <iosfwd>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "obs/event_ring.h"
 #include "obs/trace.h"
 
 namespace seed::obs {
@@ -65,7 +65,9 @@ class FlightRecorder : public EventObserver {
 
  private:
   std::size_t capacity_;
-  std::map<std::uint32_t, std::deque<Event>> rings_;
+  /// Per-UE history on the shared ring primitive (the same Ring<Event>
+  /// the Tracer's tail-retention state uses).
+  std::map<std::uint32_t, Ring<Event>> rings_;
   std::vector<BlackboxSnapshot> blackboxes_;
 };
 

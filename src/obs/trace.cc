@@ -7,7 +7,10 @@
 #include <istream>
 #include <map>
 #include <ostream>
+#include <set>
 
+#include "obs/event_ring.h"
+#include "obs/trace_binary.h"
 #include "simcore/log.h"
 
 namespace seed::obs {
@@ -185,6 +188,90 @@ Tracer& Tracer::instance() {
   return tracer;
 }
 
+/// Tail-retention bookkeeping (out-of-line: it owns a TlvSizer, and
+/// trace_binary.h includes trace.h). Rings are keyed by UE; `retained`
+/// holds UEs whose stream is durable from the promotion point on. All
+/// containers are ordered so iteration (sealing) is deterministic.
+struct Tracer::RetentionState {
+  explicit RetentionState(const RetentionPolicy& p) : policy(p) {}
+
+  bool is_trigger(const Event& e) const {
+    switch (e.kind) {
+      case EventKind::kTerminalFailure:
+        if (policy.on_terminal_failure) return true;
+        break;
+      case EventKind::kSloAlert:
+        // `ok` encodes "not firing": a breach is the firing transition.
+        if (policy.on_slo_breach && !e.ok) return true;
+        break;
+      case EventKind::kPeerQuarantined:
+        if (policy.on_quarantine) return true;
+        break;
+      default:
+        break;
+    }
+    return policy.trigger != nullptr && policy.trigger(e);
+  }
+
+  RetentionPolicy policy;
+  RetentionStats stats;
+  std::map<std::uint32_t, Ring<Event>> rings;
+  std::set<std::uint32_t> retained;
+  TlvSizer sizer;
+};
+
+Tracer::~Tracer() = default;
+
+void Tracer::set_retention(const RetentionPolicy& policy) {
+  retention_ = std::make_unique<RetentionState>(policy);
+}
+
+void Tracer::clear_retention() { retention_.reset(); }
+
+RetentionStats Tracer::retention_stats() const {
+  return retention_ ? retention_->stats : RetentionStats{};
+}
+
+void Tracer::pin_ue(std::uint32_t ue) {
+  if (retention_ == nullptr) return;
+  RetentionState& rs = *retention_;
+  if (!rs.retained.insert(ue).second) return;
+  ++rs.stats.ues_retained;
+  auto it = rs.rings.find(ue);
+  if (it == rs.rings.end()) return;
+  for (Event& buffered : it->second.take()) {
+    ++rs.stats.events_retained;
+    rs.stats.bytes_retained += rs.sizer.add(buffered);
+    events_.push_back(std::move(buffered));
+  }
+  rs.rings.erase(it);
+}
+
+void Tracer::seal_retention() {
+  if (retention_ == nullptr) return;
+  RetentionState& rs = *retention_;
+  for (auto& [ue, ring] : rs.rings) {
+    rs.stats.events_aged_out += ring.size();
+  }
+  rs.rings.clear();
+}
+
+void Tracer::route_retained(Event e) {
+  RetentionState& rs = *retention_;
+  const std::uint32_t ue = e.ue;
+  if (rs.retained.count(ue) == 0) {
+    if (!rs.is_trigger(e)) {
+      auto [it, inserted] = rs.rings.try_emplace(ue, rs.policy.ring_depth);
+      if (it->second.push(std::move(e))) ++rs.stats.events_aged_out;
+      return;
+    }
+    pin_ue(ue);  // replays the ring ahead of the triggering event
+  }
+  ++rs.stats.events_retained;
+  rs.stats.bytes_retained += rs.sizer.add(e);
+  events_.push_back(std::move(e));
+}
+
 void Tracer::absorb(std::vector<Event> events) {
   // Renumber incoming spans AND event ids into this tracer's id space in
   // first-seen order, so concatenating shard captures in shard order
@@ -349,11 +436,25 @@ void Tracer::record_now(Event e) {
     if (e.parent == 0) e.parent = parent_for(e, st);
     advance_causal(e, st);
   }
-  events_.push_back(std::move(e));
-  if (!observers_.empty()) {
-    // Notify from a copy: a reentrant record_now (an observer emitting a
-    // follow-up event) may reallocate events_ under the reference.
-    const Event snapshot = events_.back();
+  if (retention_ == nullptr) {
+    events_.push_back(std::move(e));
+    if (!observers_.empty()) {
+      // Notify from a copy: a reentrant record_now (an observer emitting
+      // a follow-up event) may reallocate events_ under the reference.
+      const Event snapshot = events_.back();
+      for (EventObserver* o : observers_) o->on_trace_event(snapshot);
+    }
+    return;
+  }
+  // Tail-retention path. Route BEFORE notifying so that when an observer
+  // reacts to this event with a trigger (the health engine raising an
+  // SLO alert), the promotion replays this event out of the ring in
+  // order, ahead of the reentrant alert event.
+  const bool notify = !observers_.empty();
+  Event snapshot;
+  if (notify) snapshot = e;
+  route_retained(std::move(e));
+  if (notify) {
     for (EventObserver* o : observers_) o->on_trace_event(snapshot);
   }
 }
@@ -370,6 +471,11 @@ void Tracer::clear() {
   events_.clear();
   causal_.clear();
   active_span_ = 0;
+  // Retention stays armed but starts a fresh capture: rings, the
+  // retained-UE set, the intern table, and the budget all reset.
+  if (retention_ != nullptr) {
+    retention_ = std::make_unique<RetentionState>(retention_->policy);
+  }
 }
 
 void export_event_jsonl(std::ostream& os, const Event& e) {

@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -203,6 +204,40 @@ struct ImportStats {
   std::size_t malformed = 0;
 };
 
+/// Tail-based retention policy: what promotes a UE's buffered ring to
+/// the durable capture. All triggers are deterministic functions of the
+/// event stream, so sampled captures merge byte-identically regardless
+/// of worker count.
+struct RetentionPolicy {
+  /// Per-UE ring depth: how much pre-trigger history survives promotion.
+  std::size_t ring_depth = 32;
+  bool on_terminal_failure = true;  // kTerminalFailure
+  bool on_slo_breach = true;        // kSloAlert entering firing (ok==false)
+  bool on_quarantine = true;        // kPeerQuarantined
+  /// Optional extra trigger supplied by a higher layer (obs sits below
+  /// seed/eval, so e.g. the verdict!=label predicate arrives as a pure
+  /// function of the event — see core::verdict_mismatch).
+  bool (*trigger)(const Event&) = nullptr;
+};
+
+/// Trace-volume budget for one capture under tail-based retention.
+/// `bytes_retained` is the binary (TLV) record volume of the durable
+/// capture — pure record bytes, no framing, so per-shard totals sum.
+struct RetentionStats {
+  std::uint64_t events_retained = 0;
+  std::uint64_t events_aged_out = 0;
+  std::uint64_t bytes_retained = 0;
+  std::uint64_t ues_retained = 0;
+
+  RetentionStats& operator+=(const RetentionStats& o) {
+    events_retained += o.events_retained;
+    events_aged_out += o.events_aged_out;
+    bytes_retained += o.bytes_retained;
+    ues_retained += o.ues_retained;
+    return *this;
+  }
+};
+
 /// Passive tap on the tracer's recorded stream (health engine, flight
 /// recorder). Observers see each event after it is recorded; they must
 /// not mutate tracer state, but MAY emit further events (reentrant
@@ -253,6 +288,27 @@ class Tracer {
   std::size_t event_count(EventKind k) const;
   void clear();
 
+  // ----- tail-based retention (the metro-scale sampled capture)
+  /// Arms tail-based retention: recorded events are buffered in bounded
+  /// per-UE rings and only reach the durable capture (`events()`) when a
+  /// retention trigger promotes their UE — the ring's history first,
+  /// then everything the UE does afterwards. Healthy-UE events age out
+  /// of their rings instead of accumulating. Observers still see every
+  /// event (the health engine feeds on the full stream, and its alerts
+  /// are themselves triggers). Implies the capture is no longer "every
+  /// event"; absorb() bypasses retention (shard captures were already
+  /// sampled shard-side).
+  void set_retention(const RetentionPolicy& policy);
+  /// Disarms retention and drops buffered rings and stats.
+  void clear_retention();
+  bool retention_active() const { return retention_ != nullptr; }
+  RetentionStats retention_stats() const;
+  /// Promotes `ue` unconditionally (the explicit-pin trigger).
+  void pin_ue(std::uint32_t ue);
+  /// Closes the capture: still-buffered ring events are counted as aged
+  /// out and dropped. Call before snapshotting events() at capture end.
+  void seal_retention();
+
   /// Appends events captured elsewhere (another thread's tracer, an
   /// imported file), renumbering their span ids into this tracer's space
   /// in first-seen order. Fleet merges call this in shard order so the
@@ -276,6 +332,8 @@ class Tracer {
 
   // ----- export / import
   void export_jsonl(std::ostream& os) const;
+  /// Binary TLV capture of events() (see trace_binary.h for the format).
+  void export_binary(std::ostream& os) const;
   static std::vector<Event> import_jsonl(std::istream& is,
                                          ImportStats* stats);
   static std::vector<Event> import_jsonl(std::istream& is) {
@@ -317,7 +375,13 @@ class Tracer {
   std::uint64_t parent_for(const Event& e, const CausalState& st) const;
   void advance_causal(const Event& e, CausalState& st);
 
+  /// Retention state lives behind a pointer (defined in trace.cc): it
+  /// owns a TlvSizer, and trace_binary.h includes this header.
+  struct RetentionState;
+  void route_retained(Event e);
+
   Tracer() = default;
+  ~Tracer();
   bool enabled_ = false;
   const sim::TimePoint* now_ = nullptr;
   const std::uint32_t* ue_source_ = nullptr;
@@ -328,6 +392,7 @@ class Tracer {
   std::vector<Event> events_;
   std::map<SpanId, CausalState> causal_;
   std::vector<EventObserver*> observers_;
+  std::unique_ptr<RetentionState> retention_;
 };
 
 /// Serializes one event as a single JSONL record (the unit

@@ -176,4 +176,15 @@ CauseFamily predicted_family(const DiagnosisVerdict& v) {
   return CauseFamily::kNone;
 }
 
+bool verdict_mismatch(const obs::Event& e) {
+  if (e.kind != obs::EventKind::kDiagnosisVerdict || e.label == 0) {
+    return false;
+  }
+  const auto v = verdict_from_event(e);
+  // An unparseable verdict on a labeled injection is itself suspicious:
+  // retain it rather than silently aging the lifecycle out.
+  if (!v) return true;
+  return predicted_family(*v) != family_of_label(e.label);
+}
+
 }  // namespace seed::core

@@ -131,4 +131,10 @@ std::optional<DiagnosisVerdict> verdict_from_event(const obs::Event& e);
 /// convention the labeled packs follow).
 CauseFamily predicted_family(const DiagnosisVerdict& v);
 
+/// True when `e` is a labeled kDiagnosisVerdict whose predicted family
+/// contradicts its ground-truth label — the misdiagnosis retention
+/// trigger. Shaped as a pure event predicate so it can ride in
+/// obs::RetentionPolicy::trigger (obs sits below this layer).
+bool verdict_mismatch(const obs::Event& e);
+
 }  // namespace seed::core

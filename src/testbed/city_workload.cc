@@ -1,0 +1,115 @@
+#include "testbed/city_workload.h"
+
+#include <optional>
+#include <utility>
+
+#include "obs/fleet_obs.h"
+#include "obs/health.h"
+#include "seed/verdict.h"
+#include "simcore/fleet_runner.h"
+#include "testbed/multi_testbed.h"
+
+namespace seed::testbed {
+
+namespace {
+
+struct CityShard {
+  obs::ShardObs obs;
+  std::uint64_t injections = 0;
+  std::uint64_t sim_events = 0;
+  std::uint64_t healthy = 0;
+  std::uint64_t diag_reports_rx = 0;
+};
+
+CityShard run_shard(const CityWorkload& w, const sim::ShardInfo& info) {
+  obs::begin_shard_obs(/*traces=*/true, /*metrics=*/true);
+  obs::Tracer& tracer = obs::Tracer::instance();
+  if (w.retention) {
+    obs::RetentionPolicy retain;
+    retain.ring_depth = w.ring_depth;
+    retain.trigger = core::verdict_mismatch;
+    tracer.set_retention(retain);
+  }
+  // The health engine sees the full stream (observers are notified for
+  // every event, retained or not); its firing alerts are themselves a
+  // retention trigger. SLOG echo off: shard stdout must stay quiet.
+  std::optional<obs::HealthEngine> health;
+  if (w.health) {
+    obs::HealthConfig hc = obs::HealthConfig::defaults();
+    hc.emit_slog = false;
+    health.emplace(hc);
+    tracer.add_observer(&*health);
+  }
+
+  MultiOptions o;
+  o.ue_count = w.ues_per_shard;
+  o.scheme = Scheme::kSeedU;
+  o.diag_cache = true;
+  o.outdated_dnn_population = true;
+  MultiTestbed city(info.seed, o);
+  city.bring_up_all();
+
+  // The bench_city_storm storm, shard-sized: Table 1 mix at one
+  // injection per UE per 2 simulated minutes plus the rolling
+  // congestion wave, then a drain for in-flight recoveries.
+  auto& sim = city.simulator();
+  auto& rng = city.rng();
+  city.start_rolling_congestion(sim::seconds(30), sim::seconds(12), 0.05);
+  const auto storm_end = sim.now() + sim::minutes(w.storm_min);
+  const double mean_gap_s = 120.0;
+  CityShard out;
+  while (sim.now() < storm_end) {
+    const auto ue = static_cast<corenet::UeId>(
+        rng.uniform_int(0, static_cast<int>(w.ues_per_shard) - 1));
+    city.inject_sampled(ue);
+    ++out.injections;
+    const double gap = rng.uniform(
+        0.0, 2.0 * mean_gap_s / static_cast<double>(w.ues_per_shard));
+    sim.run_for(sim::secs_f(gap));
+  }
+  sim.run_for(sim::minutes(3));
+
+  if (health) {
+    health->flush(sim.now().time_since_epoch().count());
+    tracer.remove_observer(&*health);
+  }
+  out.sim_events = sim.events_processed();
+  out.healthy = city.healthy_count();
+  out.diag_reports_rx = city.core().stats().diag_reports_rx;
+  out.obs = obs::end_shard_obs();
+  return out;
+}
+
+}  // namespace
+
+CityRun run_city_workload(const CityWorkload& w, std::size_t workers) {
+  const sim::FleetRunner runner(workers, w.base_seed);
+  std::vector<CityShard> shards = runner.map<CityShard>(
+      w.shards, [&](const sim::ShardInfo& info) { return run_shard(w, info); });
+
+  // Merge on the calling thread's tracer, renumbered from 1 so repeated
+  // runs (and different worker counts) produce identical id sequences.
+  obs::Tracer& tracer = obs::Tracer::instance();
+  tracer.enable(false);
+  tracer.clear();
+  tracer.clear_retention();
+  tracer.reset_span_counter();
+  CityRun run;
+  for (CityShard& shard : shards) {
+    run.retention += shard.obs.retention;
+    run.injections += shard.injections;
+    run.sim_events += shard.sim_events;
+    run.healthy += shard.healthy;
+    run.diag_reports_rx += shard.diag_reports_rx;
+    tracer.absorb(std::move(shard.obs.trace_events));
+  }
+  run.events = tracer.events();
+  tracer.clear();
+  for (const obs::Event& e : run.events) {
+    if (e.kind == obs::EventKind::kTerminalFailure) ++run.terminal_failures;
+    if (e.kind == obs::EventKind::kSloAlert) ++run.alert_transitions;
+  }
+  return run;
+}
+
+}  // namespace seed::testbed

@@ -11,10 +11,17 @@ namespace seed::testbed {
 namespace {
 
 obs::ShardObs run_shard(const ProfileWorkload& w, const sim::ShardInfo& info) {
-  // Profile capture only: traces and metrics stay off so the shard's
-  // cost is the simulation plus the zones under test, nothing else.
-  obs::begin_shard_obs(/*traces=*/false, /*metrics=*/false,
+  // Profile capture plus a tail-sampled trace: metrics stay off, and the
+  // tracer runs under retention so the shard also measures what the
+  // sampled capture costs in bytes. Trace overhead lands in whatever
+  // zone is open when an event is recorded (mostly sim.dispatch) — the
+  // codec/crypto zones contain no emit sites, so their zero-alloc gates
+  // are unaffected.
+  obs::begin_shard_obs(/*traces=*/true, /*metrics=*/false,
                        /*profile=*/true);
+  obs::RetentionPolicy retain;
+  retain.ring_depth = w.trace_ring_depth;
+  obs::Tracer::instance().set_retention(retain);
 
   MultiOptions o;
   o.ue_count = w.ues_per_shard;
@@ -45,23 +52,28 @@ obs::ShardObs run_shard(const ProfileWorkload& w, const sim::ShardInfo& info) {
 
 }  // namespace
 
-std::vector<obs::ProfRow> run_profile_workload(const ProfileWorkload& w,
-                                               std::size_t workers) {
+ProfileRun run_profile_workload(const ProfileWorkload& w,
+                                std::size_t workers) {
   const sim::FleetRunner runner(workers, w.base_seed);
   std::vector<obs::ShardObs> captures = runner.map<obs::ShardObs>(
       w.shards, [&](const sim::ShardInfo& info) { return run_shard(w, info); });
 
   // Fold in shard order on the calling thread. The caller's profiler is
-  // used as the merge accumulator and handed back cleared.
+  // used as the merge accumulator and handed back cleared; trace events
+  // are dropped after their budget is summed (the workload's trace
+  // deliverable is the byte accounting, not a merged capture).
   auto& prof = obs::Profiler::instance();
   prof.enable(false);
   prof.clear();
+  ProfileRun run;
   for (obs::ShardObs& cap : captures) {
+    run.trace += cap.retention;
+    cap.trace_events.clear();
     obs::merge_shard_obs(std::move(cap));
   }
-  std::vector<obs::ProfRow> rows = prof.rows();
+  run.rows = prof.rows();
   prof.clear();
-  return rows;
+  return run;
 }
 
 }  // namespace seed::testbed

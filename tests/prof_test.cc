@@ -188,16 +188,28 @@ TEST(ProfFleetTest, MergedProfileIsByteIdenticalAcrossWorkerCounts) {
   w.injections_per_shard = 8;
 
   std::string dumps[3];
+  std::string budgets[3];
   const std::size_t workers[3] = {1, 2, 8};
   for (int i = 0; i < 3; ++i) {
-    const auto rows = testbed::run_profile_workload(w, workers[i]);
-    ASSERT_FALSE(rows.empty());
+    const auto run = testbed::run_profile_workload(w, workers[i]);
+    ASSERT_FALSE(run.rows.empty());
     std::ostringstream os;
-    dump_prof_json(os, "profile_fleet", rows, /*include_times=*/false);
+    dump_prof_json(os, "profile_fleet", run.rows, /*include_times=*/false);
     dumps[i] = os.str();
+    // The shards' tail-retention trace budget must be worker-count
+    // independent too (it rides into BENCH_profile.json's trace gates).
+    std::ostringstream bs;
+    bs << "bytes=" << run.trace.bytes_retained
+       << " retained=" << run.trace.events_retained
+       << " aged_out=" << run.trace.events_aged_out
+       << " ues=" << run.trace.ues_retained;
+    budgets[i] = bs.str();
+    EXPECT_GT(run.trace.events_retained + run.trace.events_aged_out, 0u);
   }
   EXPECT_EQ(dumps[0], dumps[1]);
   EXPECT_EQ(dumps[0], dumps[2]);
+  EXPECT_EQ(budgets[0], budgets[1]);
+  EXPECT_EQ(budgets[0], budgets[2]);
 
   // The dump parses, and covers every instrumented subsystem.
   const minijson::Value doc = minijson::parse(dumps[0]);
